@@ -1,0 +1,401 @@
+// Benchmarks regenerating every table/figure of the paper's evaluation
+// (Figs. 3–9) plus the design-choice ablations called out in DESIGN.md and
+// micro-benchmarks of the hot paths.
+//
+// Figure benchmarks run the corresponding experiment in quick mode (full
+// sweeps shrink, search budgets cap) and print the resulting series — the
+// same x/mean/CI rows the paper's plots draw — on their first iteration.
+// The full-scale reproduction (paper-sized sweeps, 10+ trials) runs via
+//
+//	go run ./cmd/tsajs-sim -figure all -trials 10
+//
+// and its output is recorded in EXPERIMENTS.md.
+package tsajs_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs"
+	"github.com/tsajs/tsajs/internal/alloc"
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/dynamic"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// benchFigure runs one paper figure in quick mode and emits its tables on
+// the first iteration.
+func benchFigure(b *testing.B, figure string) {
+	b.Helper()
+	opts := tsajs.ExperimentOptions{Trials: 2, BaseSeed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		tables, err := tsajs.RunFigure(figure, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n# %s (quick preset: 2 trials, reduced sweeps)\n", figure)
+			for _, tbl := range tables {
+				if err := tbl.WriteText(os.Stdout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3Suboptimality(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFigure4UserScaling(b *testing.B)   { benchFigure(b, "fig4") }
+func BenchmarkFigure5DataSize(b *testing.B)      { benchFigure(b, "fig5") }
+func BenchmarkFigure6Workload(b *testing.B)      { benchFigure(b, "fig6") }
+func BenchmarkFigure7Subchannels(b *testing.B)   { benchFigure(b, "fig7") }
+func BenchmarkFigure8ComputeTime(b *testing.B)   { benchFigure(b, "fig8") }
+func BenchmarkFigure9Preferences(b *testing.B)   { benchFigure(b, "fig9") }
+
+// benchScenario builds the default-sized instance used by the solver and
+// hot-path micro-benchmarks.
+func benchScenario(b *testing.B, users int) *scenario.Scenario {
+	b.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = users
+	p.Workload.WorkCycles = 2000e6
+	p.Seed = 1
+	sc, err := scenario.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// BenchmarkSystemUtility measures the objective-evaluation hot path: one
+// J*(X) computation (SINR + Γ + KKT Λ) on a half-loaded default network.
+func BenchmarkSystemUtility(b *testing.B) {
+	sc := benchScenario(b, 30)
+	eval := objective.New(sc)
+	a, err := solver.RandomFeasible(sc, simrand.New(2), 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.SystemUtility(a)
+	}
+}
+
+// BenchmarkKKTAllocation measures the closed-form resource allocation.
+func BenchmarkKKTAllocation(b *testing.B) {
+	sc := benchScenario(b, 30)
+	a, err := solver.RandomFeasible(sc, simrand.New(2), 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = alloc.Lambda(sc, a)
+	}
+}
+
+// BenchmarkNeighborhoodMove measures one Algorithm 2 move on a working copy.
+func BenchmarkNeighborhoodMove(b *testing.B) {
+	sc := benchScenario(b, 30)
+	moves := core.NeighborhoodFor(core.DefaultConfig())
+	rng := simrand.New(3)
+	a, err := solver.RandomFeasible(sc, rng, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moves.Apply(a, rng)
+	}
+}
+
+// solverBench runs a full solve per iteration and reports the achieved
+// utility as a custom metric, so speed/quality trade-offs are visible in
+// one output row.
+func solverBench(b *testing.B, sched solver.Scheduler, users int) {
+	sc := benchScenario(b, users)
+	total := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Schedule(sc, simrand.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Utility
+	}
+	b.ReportMetric(total/float64(b.N), "utility")
+}
+
+func BenchmarkSolveTSAJS_U30(b *testing.B)       { solverBench(b, tsajs.NewScheduler(), 30) }
+func BenchmarkSolveTSAJS_U60(b *testing.B)       { solverBench(b, tsajs.NewScheduler(), 60) }
+func BenchmarkSolveHJTORA_U30(b *testing.B)      { solverBench(b, tsajs.NewHJTORA(), 30) }
+func BenchmarkSolveHJTORA_U60(b *testing.B)      { solverBench(b, tsajs.NewHJTORA(), 60) }
+func BenchmarkSolveLocalSearch_U30(b *testing.B) { solverBench(b, tsajs.NewLocalSearch(), 30) }
+func BenchmarkSolveGreedy_U30(b *testing.B)      { solverBench(b, tsajs.NewGreedy(), 30) }
+
+// --- Ablation benches (DESIGN.md Section 5) ---
+
+// BenchmarkAblationCooling compares threshold-triggered cooling (the
+// paper's contribution) against plain simulated annealing: same seeds,
+// same neighbourhood, same budget semantics. The "utility" metric shows
+// solution quality; ns/op shows the cooling speed-up.
+func BenchmarkAblationCooling(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{name: "threshold", disable: false},
+		{name: "plainSA", disable: true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.DisableThreshold = variant.disable
+			ts, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solverBench(b, ts, 30)
+		})
+	}
+}
+
+// BenchmarkAblationMoves compares the Algorithm 2 move mix against
+// single-move-type neighbourhoods.
+func BenchmarkAblationMoves(b *testing.B) {
+	mixes := []struct {
+		name  string
+		moves core.MoveWeights
+	}{
+		{name: "paperMix", moves: core.DefaultConfig().Moves},
+		{name: "serverOnly", moves: core.MoveWeights{MoveServer: 1}},
+		{name: "swapOnly", moves: core.MoveWeights{Swap: 1, Toggle: 0.05}},
+		{name: "toggleOnly", moves: core.MoveWeights{Toggle: 1}},
+	}
+	for _, mix := range mixes {
+		b.Run(mix.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Moves = mix.moves
+			cfg.MaxEvaluations = 10000
+			ts, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solverBench(b, ts, 30)
+		})
+	}
+}
+
+// BenchmarkAblationAllocation quantifies the KKT closed form against the
+// naive equal split: same decisions, different resource allocation. The
+// metric is the mean achieved system utility over random decisions.
+func BenchmarkAblationAllocation(b *testing.B) {
+	sc := benchScenario(b, 30)
+	// Vary lambda so eta differs across users and the split matters.
+	for i := range sc.Users {
+		sc.Users[i].Lambda = 0.25 + 0.75*float64(i%4)/3
+	}
+	if err := sc.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	eval := objective.New(sc)
+	for _, variant := range []struct {
+		name string
+		fn   func(*assign.Assignment) float64
+	}{
+		{name: "kkt", fn: func(a *assign.Assignment) float64 {
+			_, lambda := alloc.KKT(sc, a)
+			return lambda
+		}},
+		{name: "equalSplit", fn: func(a *assign.Assignment) float64 {
+			f := alloc.EqualSplit(sc, a)
+			v, err := alloc.Objective(sc, a, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return v
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			rng := simrand.New(7)
+			totalCost := 0.0
+			for i := 0; i < b.N; i++ {
+				a, err := solver.RandomFeasible(sc, rng, 0.7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalCost += variant.fn(a)
+			}
+			b.ReportMetric(totalCost/float64(b.N), "cra-cost")
+			_ = eval
+		})
+	}
+}
+
+// BenchmarkAblationEviction compares eviction-to-local displacement (the
+// Algorithm 2 "allocate one randomly if none are free" semantics) against
+// rejecting moves into occupied slots.
+func BenchmarkAblationEviction(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{name: "evict", disable: false},
+		{name: "reject", disable: true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.DisableEviction = variant.disable
+			cfg.MaxEvaluations = 10000
+			ts, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A congested network (more users than slots) is where
+			// eviction matters.
+			solverBench(b, ts, 60)
+		})
+	}
+}
+
+// --- System-layer benches (beyond the paper's figures) ---
+
+// BenchmarkWarmVsColdStart measures the warm-start extension: re-solving a
+// perturbed instance starting from the previous decision versus from
+// scratch, at equal evaluation budgets.
+func BenchmarkWarmVsColdStart(b *testing.B) {
+	sc := benchScenario(b, 40)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 4000
+	ts, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedRes, err := ts.Schedule(sc, simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			res, err := ts.ScheduleFrom(sc, simrand.New(uint64(i)+2), seedRes.Assignment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Utility
+		}
+		b.ReportMetric(total/float64(b.N), "utility")
+	})
+	b.Run("cold", func(b *testing.B) {
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			res, err := ts.Schedule(sc, simrand.New(uint64(i)+2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Utility
+		}
+		b.ReportMetric(total/float64(b.N), "utility")
+	})
+}
+
+// BenchmarkDynamicEpochs measures the online simulator end to end: one
+// iteration is a full multi-epoch run (mobility, arrivals, channel redraw,
+// scheduling).
+func BenchmarkDynamicEpochs(b *testing.B) {
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 2000
+	p := scenario.DefaultParams()
+	p.NumUsers = 30
+	cfg := dynamic.Config{
+		Params:     p,
+		Epochs:     10,
+		ActiveProb: 0.6,
+		WarmStart:  true,
+		TTSAConfig: &ttsaCfg,
+		Seed:       3,
+	}
+	totalUtility := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynamic.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalUtility += res.TotalUtility
+	}
+	b.ReportMetric(totalUtility/float64(b.N), "utility")
+}
+
+// BenchmarkCoordinatorRoundTrip measures the C-RAN service: one iteration
+// is a full client request/response over loopback TCP including epoch
+// batching and scheduling.
+func BenchmarkCoordinatorRoundTrip(b *testing.B) {
+	p := scenario.DefaultParams()
+	p.NumServers = 4
+	p.NumChannels = 2
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 500
+	srv, err := cran.NewServer("127.0.0.1:0", cran.ServerConfig{
+		Params:      p,
+		BatchWindow: time.Millisecond,
+		MaxBatch:    1,
+		TTSA:        &ttsaCfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := cran.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	req := cran.OffloadRequest{
+		UserID: "bench",
+		Pos:    geom.Point{X: 0.1, Y: 0.1},
+		Task:   task.Task{DataBits: 420 * 8 * 1024, WorkCycles: 2e9},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Offload(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalTTSA compares the full TTSA solve with and without
+// the delta evaluator (Config.Incremental).
+func BenchmarkIncrementalTTSA(b *testing.B) {
+	for _, variant := range []struct {
+		name        string
+		incremental bool
+	}{
+		{name: "full", incremental: false},
+		{name: "incremental", incremental: true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Incremental = variant.incremental
+			ts, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solverBench(b, ts, 50)
+		})
+	}
+}

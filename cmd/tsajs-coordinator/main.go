@@ -1,0 +1,83 @@
+// Command tsajs-coordinator runs the C-RAN scheduling coordinator: a TCP
+// service that batches offloading requests from mobile clients into epochs
+// and schedules each epoch with TSAJS.
+//
+// Usage:
+//
+//	tsajs-coordinator -listen 127.0.0.1:7600 -servers 9 -channels 3
+//
+// Clients speak newline-delimited JSON (see internal/cran); the quickest
+// way to exercise a running coordinator is examples/coordinated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tsajs/tsajs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tsajs-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the coordinator and blocks until a signal arrives or the
+// ready channel's consumer closes stop (tests drive it through stop).
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("tsajs-coordinator", flag.ContinueOnError)
+	defaults := tsajs.DefaultParams()
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7600", "listen address")
+		servers  = fs.Int("servers", defaults.NumServers, "number of MEC servers")
+		channels = fs.Int("channels", defaults.NumChannels, "subchannels per cell")
+		window   = fs.Duration("window", 50*time.Millisecond, "epoch batch window")
+		batch    = fs.Int("batch", 0, "max batch size (0 = network slot capacity)")
+		seed     = fs.Uint64("seed", 1, "coordinator random seed")
+		budget   = fs.Int("budget", 20000, "TTSA evaluation budget per epoch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := defaults
+	params.NumServers = *servers
+	params.NumChannels = *channels
+	ttsaCfg := tsajs.DefaultConfig()
+	ttsaCfg.MaxEvaluations = *budget
+
+	srv, err := tsajs.NewCoordinator(*listen, tsajs.CoordinatorConfig{
+		Params:      params,
+		BatchWindow: *window,
+		MaxBatch:    *batch,
+		TTSA:        &ttsaCfg,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "coordinator listening on %s (S=%d, N=%d, window=%s)\n",
+		srv.Addr(), *servers, *channels, *window)
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	} else {
+		<-stop
+	}
+	stats := srv.Stats()
+	fmt.Fprintf(stdout,
+		"shutting down: %d epochs, %d requests (%d rejected), %d offloaded / %d local, mean batch %.1f, solve time %s\n",
+		stats.Epochs, stats.Requests, stats.Rejected, stats.Offloaded, stats.Local,
+		stats.MeanBatch, stats.TotalSolveTime.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs"
+)
+
+func TestCoordinatorServesUntilStopped(t *testing.T) {
+	stop := make(chan struct{})
+	var sb strings.Builder
+	var mu sync.Mutex
+	out := &lockedWriter{sb: &sb, mu: &mu}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-servers", "3", "-channels", "2",
+			"-window", "20ms", "-budget", "800",
+		}, out, stop)
+	}()
+
+	// Wait for the listening banner to learn the bound address.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never reported its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		text := sb.String()
+		mu.Unlock()
+		if i := strings.Index(text, "listening on "); i >= 0 {
+			rest := text[i+len("listening on "):]
+			addr = strings.Fields(rest)[0]
+		}
+	}
+
+	cli, err := tsajs.DialCoordinator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Offload(ctx, tsajs.OffloadRequest{
+		UserID: "cli-test",
+		Pos:    tsajs.Point{X: 0.1, Y: 0.1},
+		Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 2e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UserID != "cli-test" {
+		t.Errorf("response user = %q", resp.UserID)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not stop")
+	}
+}
+
+func TestCoordinatorRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-servers", "0"}, &sb, make(chan struct{})); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if err := run([]string{"-listen", "256.0.0.1:99999"}, &sb, make(chan struct{})); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if err := run([]string{"-nope"}, &sb, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+type lockedWriter struct {
+	sb *strings.Builder
+	mu *sync.Mutex
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}

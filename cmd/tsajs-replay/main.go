@@ -1,0 +1,83 @@
+// Command tsajs-replay runs the dynamic (multi-epoch) MEC simulation:
+// users move under a random-waypoint model, tasks arrive stochastically,
+// and TSAJS re-schedules each epoch — optionally warm-started from the
+// previous epoch's decision.
+//
+// Usage:
+//
+//	tsajs-replay -epochs 20 -users 40 -active 0.6
+//	tsajs-replay -epochs 50 -warm -speed-max 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tsajs/tsajs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsajs-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsajs-replay", flag.ContinueOnError)
+	defaults := tsajs.DefaultParams()
+	var (
+		epochs   = fs.Int("epochs", 20, "scheduling rounds to simulate")
+		epochSec = fs.Float64("epoch-seconds", 10, "wall time between rounds [s]")
+		users    = fs.Int("users", 40, "total user population")
+		servers  = fs.Int("servers", defaults.NumServers, "number of MEC servers")
+		channels = fs.Int("channels", defaults.NumChannels, "subchannels per cell")
+		active   = fs.Float64("active", 0.6, "per-epoch task probability per user")
+		speedMin = fs.Float64("speed-min", 1, "min walker speed [km/h]")
+		speedMax = fs.Float64("speed-max", 5, "max walker speed [km/h]")
+		workMc   = fs.Float64("work-mcycles", 2500, "task workload [Megacycles]")
+		warm     = fs.Bool("warm", false, "warm-start each epoch from the previous decision")
+		budget   = fs.Int("budget", 5000, "TTSA evaluation budget per epoch")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := defaults
+	params.NumUsers = *users
+	params.NumServers = *servers
+	params.NumChannels = *channels
+	params.Workload.WorkCycles = *workMc * 1e6
+	ttsaCfg := tsajs.DefaultConfig()
+	ttsaCfg.MaxEvaluations = *budget
+
+	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
+		Params:       params,
+		Epochs:       *epochs,
+		EpochSeconds: *epochSec,
+		ActiveProb:   *active,
+		SpeedKmHMin:  *speedMin,
+		SpeedKmHMax:  *speedMax,
+		WarmStart:    *warm,
+		TTSAConfig:   &ttsaCfg,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-6s %7s %9s %9s %10s %10s %9s %6s\n",
+		"epoch", "active", "offload", "utility", "delay[s]", "energy[J]", "solve", "warm")
+	for _, e := range res.Epochs {
+		fmt.Fprintf(stdout, "%-6d %7d %9d %9.3f %10.3f %10.3f %9s %6v\n",
+			e.Epoch, e.Active, e.Offloaded, e.Utility, e.MeanDelayS, e.MeanEnergyJ,
+			e.SolveTime.Round(1e5), e.WarmStarted)
+	}
+	fmt.Fprintf(stdout, "\ntotals: utility=%.3f solve=%s evaluations=%d mean-active=%.1f mean-offloaded=%.1f\n",
+		res.TotalUtility, res.TotalSolveTime.Round(1e6), res.TotalEvaluations,
+		res.MeanActive, res.MeanOffloaded)
+	return nil
+}

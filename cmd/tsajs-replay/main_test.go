@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplayRuns(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-epochs", "4", "-users", "10", "-servers", "3", "-channels", "2",
+		"-budget", "800", "-seed", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"epoch", "active", "totals:", "utility="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// 4 epochs -> 4 data rows between header and totals.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataRows := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(strings.TrimSpace(l), "totals") || l == "" {
+			break
+		}
+		dataRows++
+	}
+	if dataRows != 4 {
+		t.Errorf("got %d epoch rows, want 4:\n%s", dataRows, out)
+	}
+}
+
+func TestReplayWarmStart(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-epochs", "5", "-users", "12", "-servers", "3", "-channels", "2",
+		"-active", "0.9", "-budget", "800", "-warm",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "true") {
+		t.Errorf("no warm-started epoch reported:\n%s", sb.String())
+	}
+}
+
+func TestReplayRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-epochs", "0"}, &sb); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if err := run([]string{"-active", "2"}, &sb); err == nil {
+		t.Error("invalid active probability accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "fig3", "-trials", "2", "-quick"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 3", "TSAJS", "Exhaustive", "# fig3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-figure", "fig5", "-trials", "2", "-quick", "-csv", "-o", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig5_panel*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("wrote %d files, want 1: %v", len(matches), matches)
+	}
+	blob, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "TSAJS mean") {
+		t.Errorf("CSV missing header: %s", blob)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "fig0"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunCustomSpec(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+		"title": "custom",
+		"sweep": "users",
+		"values": [4, 6],
+		"schemes": ["greedy"],
+		"trials": 2,
+		"base": {"servers": 3, "channels": 2}
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-spec", specPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== custom ==") || !strings.Contains(out, "Greedy") {
+		t.Errorf("spec output:\n%s", out)
+	}
+}
+
+func TestRunCustomSpecErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-spec", "/does/not/exist.json"}, &sb); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"title":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &sb); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRunSingleAblation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "abl-cooling", "-trials", "1", "-quick"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Ablation: threshold-triggered") || !strings.Contains(out, "plain-SA") {
+		t.Errorf("ablation output:\n%s", out)
+	}
+}

@@ -1,0 +1,41 @@
+// Package tsajs is a Go implementation of TSAJS — the multi-server joint
+// task scheduling scheme for Mobile Edge Computing of Li et al.
+// (ICDCS 2025) — together with the full simulation substrate, the paper's
+// baseline schedulers, and an experiment harness reproducing every figure
+// of the paper's evaluation.
+//
+// # Problem
+//
+// A set of mobile users, each holding one atomic computation task
+// ⟨d_u bits, w_u cycles⟩, share a multi-cell MEC network: every base
+// station hosts an edge server and N orthogonal uplink subchannels. Each
+// user either executes locally or offloads to exactly one
+// (server, subchannel) slot; offloading costs upload time and energy
+// (inter-cell interference included) and server time (shared CPU). The
+// Joint Task Offloading and Resource Allocation (JTORA) problem maximizes
+// the weighted sum of per-user offloading utilities — a Mixed-Integer
+// Nonlinear Program.
+//
+// # Method
+//
+// TSAJS decomposes JTORA: for any fixed offloading decision the computing
+// resource allocation is convex and solved in closed form via the KKT
+// conditions; the remaining combinatorial offloading problem is searched
+// with Threshold-Triggered Simulated Annealing (TTSA), which accelerates
+// cooling when deteriorating moves accumulate past a threshold.
+//
+// # Quick start
+//
+//	params := tsajs.DefaultParams()
+//	params.NumUsers = 24
+//	sc, err := tsajs.Build(params)
+//	if err != nil { ... }
+//	res, err := tsajs.NewScheduler().Schedule(sc, tsajs.NewRand(42))
+//	if err != nil { ... }
+//	fmt.Println(res.Utility)
+//	rep := tsajs.Evaluate(sc, res.Assignment)
+//	fmt.Println(rep.MeanDelayS, rep.MeanEnergyJ)
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the reproduction of the paper's figures.
+package tsajs

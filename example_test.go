@@ -1,0 +1,151 @@
+package tsajs_test
+
+import (
+	"fmt"
+
+	"github.com/tsajs/tsajs"
+)
+
+// ExampleBuild constructs the paper's default scenario and inspects its
+// shape.
+func ExampleBuild() {
+	params := tsajs.DefaultParams()
+	params.NumUsers = 12
+	params.Seed = 7
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("users=%d servers=%d subchannels=%d\n", sc.U(), sc.S(), sc.N())
+	fmt.Printf("subchannel width=%.2f MHz\n", sc.SubchannelHz()/1e6)
+	// Output:
+	// users=12 servers=9 subchannels=3
+	// subchannel width=6.67 MHz
+}
+
+// ExampleNewScheduler runs TSAJS on a small instance and verifies the
+// decision's feasibility.
+func ExampleNewScheduler() {
+	params := tsajs.DefaultParams()
+	params.NumUsers = 10
+	params.Workload.WorkCycles = 3000e6
+	params.Seed = 42
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := tsajs.NewScheduler().Schedule(sc, tsajs.NewRand(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("feasible:", tsajs.Verify(sc, res) == nil)
+	fmt.Println("positive utility:", res.Utility > 0)
+	fmt.Println("someone offloaded:", res.Assignment.Offloaded() > 0)
+	// Output:
+	// feasible: true
+	// positive utility: true
+	// someone offloaded: true
+}
+
+// ExampleSystemUtility evaluates decisions by hand: the empty (all-local)
+// decision is the zero of the utility scale.
+func ExampleSystemUtility() {
+	params := tsajs.DefaultParams()
+	params.NumUsers = 4
+	params.Seed = 3
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, err := tsajs.NewAssignment(sc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("all-local utility:", tsajs.SystemUtility(sc, a))
+	// Output:
+	// all-local utility: 0
+}
+
+// ExampleEvaluate shows the per-user report of a decision.
+func ExampleEvaluate() {
+	params := tsajs.DefaultParams()
+	params.NumUsers = 3
+	params.Seed = 5
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, err := tsajs.NewAssignment(sc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := a.Offload(0, 0, 0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep := tsajs.Evaluate(sc, a)
+	fmt.Println("users in report:", len(rep.Users))
+	fmt.Println("user 0 offloaded:", rep.Users[0].Offloaded)
+	fmt.Println("user 1 offloaded:", rep.Users[1].Offloaded)
+	// The lone offloader gets the entire 20 GHz server.
+	fmt.Printf("user 0 CPU grant: %.0f GHz\n", rep.Users[0].FUsHz/1e9)
+	// Output:
+	// users in report: 3
+	// user 0 offloaded: true
+	// user 1 offloaded: false
+	// user 0 CPU grant: 20 GHz
+}
+
+// ExampleKKTAllocation shows the closed-form resource split of Eq. (22):
+// homogeneous users sharing a server split its capacity evenly.
+func ExampleKKTAllocation() {
+	params := tsajs.DefaultParams()
+	params.NumUsers = 2
+	params.Seed = 9
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, err := tsajs.NewAssignment(sc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_ = a.Offload(0, 0, 0)
+	_ = a.Offload(1, 0, 1)
+	f := tsajs.KKTAllocation(sc, a)
+	fmt.Printf("user 0: %.0f GHz, user 1: %.0f GHz\n", f.FUs[0]/1e9, f.FUs[1]/1e9)
+	// Output:
+	// user 0: 10 GHz, user 1: 10 GHz
+}
+
+// ExampleRunSpec runs a declarative custom sweep.
+func ExampleRunSpec() {
+	table, err := tsajs.RunSpec([]byte(`{
+		"title": "quick demo",
+		"sweep": "users",
+		"values": [4, 8],
+		"schemes": ["greedy"],
+		"trials": 2,
+		"base": {"servers": 3, "channels": 2}
+	}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("title:", table.Title)
+	fmt.Println("points:", len(table.X))
+	fmt.Println("series:", table.Series[0].Scheme)
+	// Output:
+	// title: quick demo
+	// points: 2
+	// series: Greedy
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a default MEC scenario, schedule it with TSAJS, and
+// compare against the greedy baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tsajs/tsajs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's evaluation defaults: 9 hexagonal cells 1 km apart, 3
+	// subchannels over 20 MHz, 20 GHz edge servers, 1 GHz devices,
+	// 420 KB / 1000 Megacycle tasks.
+	params := tsajs.DefaultParams()
+	params.NumUsers = 24
+	params.Workload.WorkCycles = 2000e6 // heavier tasks offload better
+	params.Seed = 42
+
+	sc, err := tsajs.Build(params)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Scenario: %d users, %d servers, %d subchannels, %.0f MHz uplink\n\n",
+		sc.U(), sc.S(), sc.N(), sc.BandwidthHz/1e6)
+
+	for _, sched := range []tsajs.Scheduler{tsajs.NewScheduler(), tsajs.NewGreedy()} {
+		res, err := sched.Schedule(sc, tsajs.NewRand(7))
+		if err != nil {
+			return err
+		}
+		if err := tsajs.Verify(sc, res); err != nil {
+			return err
+		}
+		rep := tsajs.Evaluate(sc, res.Assignment)
+		fmt.Printf("%-8s utility=%7.3f  offloaded=%2d/%d  mean delay=%6.3fs  mean energy=%6.3fJ  (%s)\n",
+			res.Scheme, res.Utility, res.Assignment.Offloaded(), sc.U(),
+			rep.MeanDelayS, rep.MeanEnergyJ, res.Elapsed.Round(1e6))
+	}
+
+	// Inspect one user's outcome in detail.
+	res, err := tsajs.NewScheduler().Schedule(sc, tsajs.NewRand(7))
+	if err != nil {
+		return err
+	}
+	rep := tsajs.Evaluate(sc, res.Assignment)
+	fmt.Println("\nPer-user outcomes under TSAJS (first 8 users):")
+	for u := 0; u < 8 && u < len(rep.Users); u++ {
+		m := rep.Users[u]
+		if m.Offloaded {
+			fmt.Printf("  user %2d -> server %d ch %d: rate=%5.2f Mbps, cpu=%5.2f GHz, delay=%6.3fs, J_u=%+.3f\n",
+				u, m.Server, m.Channel, m.RateBps/1e6, m.FUsHz/1e9, m.DelayS, m.Utility)
+		} else {
+			fmt.Printf("  user %2d -> local: delay=%6.3fs, energy=%6.3fJ\n", u, m.DelayS, m.EnergyJ)
+		}
+	}
+	return nil
+}

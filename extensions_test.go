@@ -1,0 +1,159 @@
+package tsajs_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs"
+)
+
+func TestRunSpecPublicAPI(t *testing.T) {
+	table, err := tsajs.RunSpec([]byte(`{
+		"title": "api sweep",
+		"sweep": "workMcycles",
+		"values": [1000, 3000],
+		"schemes": ["greedy"],
+		"trials": 2,
+		"base": {"users": 6, "servers": 3, "channels": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Utility grows with workload (the Fig. 6 shape) even in this tiny
+	// custom sweep.
+	series := table.Series[0]
+	if series.Points[1].Mean < series.Points[0].Mean {
+		t.Errorf("utility fell with workload: %v", series.Points)
+	}
+	if _, err := tsajs.RunSpec([]byte(`{"title":"x"}`)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRunDynamicPublicAPI(t *testing.T) {
+	p := tsajs.DefaultParams()
+	p.NumUsers = 10
+	p.NumServers = 3
+	p.NumChannels = 2
+	cfg := tsajs.DefaultConfig()
+	cfg.MaxEvaluations = 800
+	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
+		Params:     p,
+		Epochs:     3,
+		ActiveProb: 0.7,
+		WarmStart:  true,
+		TTSAConfig: &cfg,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+}
+
+func TestCoordinatorPublicAPI(t *testing.T) {
+	p := tsajs.DefaultParams()
+	p.NumServers = 3
+	p.NumChannels = 2
+	cfg := tsajs.DefaultConfig()
+	cfg.MaxEvaluations = 800
+	coord, err := tsajs.NewCoordinator("127.0.0.1:0", tsajs.CoordinatorConfig{
+		Params:      p,
+		BatchWindow: 10 * time.Millisecond,
+		TTSA:        &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cli, err := tsajs.DialCoordinator(coord.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Offload(ctx, tsajs.OffloadRequest{
+		UserID: "api",
+		Pos:    tsajs.Point{X: 0.1},
+		Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 3e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UserID != "api" {
+		t.Errorf("user = %q", resp.UserID)
+	}
+}
+
+func TestTTSAPublicTraceAndMultiStart(t *testing.T) {
+	sc := buildSmall(t)
+	cfg := tsajs.DefaultConfig()
+	cfg.MaxEvaluations = 1000
+	ttsa, err := tsajs.NewTTSA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, trace, err := ttsa.ScheduleTrace(sc, tsajs.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Error("no trace points")
+	}
+	warm, err := ttsa.ScheduleFrom(sc, tsajs.NewRand(2), res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Utility < res.Utility-1e-9 {
+		t.Errorf("warm start %.6f regressed below its seed %.6f", warm.Utility, res.Utility)
+	}
+	ms, err := tsajs.NewMultiStart(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Schedule(sc, tsajs.NewRand(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenUtilityRegression pins the objective computation for a fixed
+// scenario and decision. Any unintended change to the radio model, the
+// cost terms, or the KKT allocation will move this number.
+func TestGoldenUtilityRegression(t *testing.T) {
+	p := tsajs.DefaultParams()
+	p.NumUsers = 6
+	p.NumServers = 3
+	p.NumChannels = 2
+	p.Workload.WorkCycles = 3000e6
+	p.Seed = 12345
+	sc, err := tsajs.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tsajs.NewAssignment(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		if err := a.Offload(u, u%3, u/3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tsajs.SystemUtility(sc, a)
+	// Recorded from the validated implementation (Eq. 24 = Eq. 11 to
+	// 1e-9; TSAJS == exhaustive optimum across Fig. 3). The arbitrary
+	// forced decision offloads far users, hence the large negative value.
+	// Tolerate small cross-platform libm drift only.
+	const want = -110.662283703748
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Errorf("golden utility = %.9f, want %.9f — objective changed", got, want)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/tsajs/tsajs
+
+go 1.24

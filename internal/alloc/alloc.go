@@ -1,0 +1,151 @@
+// Package alloc implements the Computing Resource Allocation (CRA) stage
+// of TSAJS: the closed-form Karush–Kuhn–Tucker optimum of Eq. (22) and the
+// resulting optimal objective Λ(X, F*) of Eq. (23).
+//
+// For a fixed offloading decision, the CRA problem
+//
+//	min Σ_s Σ_{u∈U_s} η_u / f_us   s.t.  Σ_u f_us ≤ f_s,  f_us > 0
+//
+// is convex (diagonal positive-definite Hessian), and its optimum allocates
+// each server's capacity proportionally to √η_u:
+//
+//	f*_us = f_s·√η_u / Σ_{v∈U_s} √η_v,
+//	Λ(X,F*) = Σ_s (Σ_{u∈U_s} √η_u)² / f_s.
+package alloc
+
+import (
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+)
+
+// Allocation is a computing-resource allocation F: FUs[u] is the rate
+// (cycles/s) granted to user u by its assigned server, 0 for local users.
+type Allocation struct {
+	FUs []float64
+}
+
+// KKT computes the optimal allocation F* for decision a under scenario sc,
+// together with Λ(X, F*).
+func KKT(sc *scenario.Scenario, a *assign.Assignment) (Allocation, float64) {
+	fus := make([]float64, sc.U())
+	lambda := kktInto(sc, a, fus)
+	return Allocation{FUs: fus}, lambda
+}
+
+// Lambda computes only Λ(X, F*) (Eq. 23) without materializing the
+// allocation. This is the hot path of every utility evaluation.
+func Lambda(sc *scenario.Scenario, a *assign.Assignment) float64 {
+	return kktInto(sc, a, nil)
+}
+
+// kktInto computes Λ and, when fus is non-nil, fills the per-user rates.
+// It iterates users rather than the S×N slot matrix so the cost scales
+// with the offloaded population, not the network size.
+func kktInto(sc *scenario.Scenario, a *assign.Assignment, fus []float64) float64 {
+	var stack [64]float64
+	sums := stack[:0]
+	if sc.S() <= len(stack) {
+		sums = stack[:sc.S()]
+	} else {
+		sums = make([]float64, sc.S())
+	}
+	for i := range sums {
+		sums[i] = 0
+	}
+	for u := 0; u < sc.U(); u++ {
+		if s, _ := a.SlotOf(u); s != assign.Local {
+			sums[s] += sc.Derived(u).SqrtEta
+		}
+	}
+	total := 0.0
+	for s, sumSqrt := range sums {
+		if sumSqrt > 0 {
+			total += sumSqrt * sumSqrt / sc.Servers[s].FHz
+		}
+	}
+	if fus != nil {
+		for u := 0; u < sc.U(); u++ {
+			if s, _ := a.SlotOf(u); s != assign.Local {
+				fus[u] = sc.Servers[s].FHz * sc.Derived(u).SqrtEta / sums[s]
+			}
+		}
+	}
+	return total
+}
+
+// Objective evaluates the CRA objective Σ η_u / f_us for an arbitrary
+// feasible allocation, used by tests and the equal-split ablation.
+func Objective(sc *scenario.Scenario, a *assign.Assignment, f Allocation) (float64, error) {
+	if len(f.FUs) != sc.U() {
+		return 0, fmt.Errorf("alloc: allocation covers %d users, want %d", len(f.FUs), sc.U())
+	}
+	total := 0.0
+	for u := 0; u < sc.U(); u++ {
+		if a.IsLocal(u) {
+			continue
+		}
+		if f.FUs[u] <= 0 {
+			return 0, fmt.Errorf("alloc: user %d offloads but has rate %g", u, f.FUs[u])
+		}
+		total += sc.Derived(u).Eta / f.FUs[u]
+	}
+	return total, nil
+}
+
+// Validate checks allocation feasibility against constraints (12e)/(12f):
+// positive rates for offloaded users, zero for local users, and per-server
+// capacity respected up to a small tolerance.
+func Validate(sc *scenario.Scenario, a *assign.Assignment, f Allocation) error {
+	if len(f.FUs) != sc.U() {
+		return fmt.Errorf("alloc: allocation covers %d users, want %d", len(f.FUs), sc.U())
+	}
+	used := make([]float64, sc.S())
+	for u := 0; u < sc.U(); u++ {
+		s, _ := a.SlotOf(u)
+		if s == assign.Local {
+			if f.FUs[u] != 0 {
+				return fmt.Errorf("alloc: local user %d has rate %g", u, f.FUs[u])
+			}
+			continue
+		}
+		if f.FUs[u] <= 0 {
+			return fmt.Errorf("alloc: offloaded user %d has non-positive rate %g", u, f.FUs[u])
+		}
+		used[s] += f.FUs[u]
+	}
+	const tol = 1e-6
+	for s := range used {
+		cap := sc.Servers[s].FHz
+		if used[s] > cap*(1+tol) {
+			return fmt.Errorf("alloc: server %d allocated %g Hz, capacity %g Hz", s, used[s], cap)
+		}
+	}
+	return nil
+}
+
+// EqualSplit divides each server's capacity evenly among its users. It is
+// the baseline allocation for the KKT-vs-naive ablation; it is feasible but
+// suboptimal whenever users have unequal η.
+func EqualSplit(sc *scenario.Scenario, a *assign.Assignment) Allocation {
+	fus := make([]float64, sc.U())
+	for s := 0; s < sc.S(); s++ {
+		count := 0
+		for j := 0; j < a.Channels(); j++ {
+			if a.Occupant(s, j) != assign.Local {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		share := sc.Servers[s].FHz / float64(count)
+		for j := 0; j < a.Channels(); j++ {
+			if u := a.Occupant(s, j); u != assign.Local {
+				fus[u] = share
+			}
+		}
+	}
+	return Allocation{FUs: fus}
+}

@@ -1,0 +1,268 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func buildScenario(t *testing.T, users int) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = users
+	p.NumServers = 3
+	p.NumChannels = 4
+	p.Seed = 17
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func offloadSome(t *testing.T, sc *scenario.Scenario, slots map[int][2]int) *assign.Assignment {
+	t.Helper()
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, slot := range slots {
+		if err := a.Offload(u, slot[0], slot[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestKKTClosedForm(t *testing.T) {
+	sc := buildScenario(t, 6)
+	a := offloadSome(t, sc, map[int][2]int{
+		0: {0, 0}, 1: {0, 1}, 2: {0, 2}, // three users on server 0
+		3: {1, 0}, // one user on server 1
+	})
+	f, lambda := KKT(sc, a)
+
+	// Server 0: f_us = f_s * sqrt(eta_u) / sum(sqrt(eta)).
+	sum := sc.Derived(0).SqrtEta + sc.Derived(1).SqrtEta + sc.Derived(2).SqrtEta
+	for _, u := range []int{0, 1, 2} {
+		want := sc.Servers[0].FHz * sc.Derived(u).SqrtEta / sum
+		if math.Abs(f.FUs[u]-want) > 1e-6*want {
+			t.Errorf("f[%d] = %g, want %g", u, f.FUs[u], want)
+		}
+	}
+	// Lone user gets the whole server.
+	if math.Abs(f.FUs[3]-sc.Servers[1].FHz) > 1e-3 {
+		t.Errorf("lone user rate = %g, want full capacity %g", f.FUs[3], sc.Servers[1].FHz)
+	}
+	// Local users get zero.
+	for _, u := range []int{4, 5} {
+		if f.FUs[u] != 0 {
+			t.Errorf("local user %d has rate %g", u, f.FUs[u])
+		}
+	}
+	// Lambda matches Eq. (23).
+	want := sum*sum/sc.Servers[0].FHz + sc.Derived(3).Eta/sc.Servers[1].FHz
+	if math.Abs(lambda-want) > 1e-9*want {
+		t.Errorf("Lambda = %g, want %g", lambda, want)
+	}
+	// Lambda shortcut agrees.
+	if got := Lambda(sc, a); math.Abs(got-lambda) > 1e-12*lambda {
+		t.Errorf("Lambda() = %g, KKT lambda = %g", got, lambda)
+	}
+}
+
+func TestKKTAllLocal(t *testing.T) {
+	sc := buildScenario(t, 3)
+	a := offloadSome(t, sc, nil)
+	f, lambda := KKT(sc, a)
+	if lambda != 0 {
+		t.Errorf("Lambda of all-local = %g", lambda)
+	}
+	for u, v := range f.FUs {
+		if v != 0 {
+			t.Errorf("user %d allocated %g with nobody offloaded", u, v)
+		}
+	}
+}
+
+func TestKKTSaturatesCapacity(t *testing.T) {
+	sc := buildScenario(t, 8)
+	a := offloadSome(t, sc, map[int][2]int{
+		0: {0, 0}, 1: {0, 1}, 2: {0, 2}, 3: {0, 3},
+	})
+	f, _ := KKT(sc, a)
+	total := f.FUs[0] + f.FUs[1] + f.FUs[2] + f.FUs[3]
+	if math.Abs(total-sc.Servers[0].FHz) > 1e-3 {
+		t.Errorf("KKT allocated %g of %g Hz — the optimum uses all capacity", total, sc.Servers[0].FHz)
+	}
+	if err := Validate(sc, a, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKKTOptimalityAgainstRandomFeasible(t *testing.T) {
+	// Property: no random feasible allocation beats the KKT closed form
+	// on the CRA objective Σ η_u / f_us.
+	sc := buildScenario(t, 6)
+	a := offloadSome(t, sc, map[int][2]int{0: {0, 0}, 1: {0, 1}, 2: {0, 2}, 3: {2, 0}})
+	f, _ := KKT(sc, a)
+	kktObj, err := Objective(sc, a, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(5)
+	for trial := 0; trial < 500; trial++ {
+		// Random positive weights, normalized per server.
+		weights := make([]float64, sc.U())
+		sums := make([]float64, sc.S())
+		for u := 0; u < sc.U(); u++ {
+			if s, _ := a.SlotOf(u); s != assign.Local {
+				weights[u] = rng.Float64() + 1e-3
+				sums[s] += weights[u]
+			}
+		}
+		rand := Allocation{FUs: make([]float64, sc.U())}
+		for u := 0; u < sc.U(); u++ {
+			if s, _ := a.SlotOf(u); s != assign.Local {
+				rand.FUs[u] = sc.Servers[s].FHz * weights[u] / sums[s]
+			}
+		}
+		if err := Validate(sc, a, rand); err != nil {
+			t.Fatalf("trial %d: random allocation infeasible: %v", trial, err)
+		}
+		obj, err := Objective(sc, a, rand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj < kktObj-1e-9*kktObj {
+			t.Fatalf("trial %d: random allocation %.9g beats KKT %.9g", trial, obj, kktObj)
+		}
+	}
+}
+
+func TestKKTOptimalityProperty(t *testing.T) {
+	// testing/quick variant: arbitrary assignment patterns, arbitrary
+	// perturbations of the KKT point stay no better.
+	sc := buildScenario(t, 5)
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		a, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			return false
+		}
+		for u := 0; u < sc.U(); u++ {
+			if rng.Float64() < 0.6 {
+				s := rng.Intn(sc.S())
+				if j := a.FreeChannel(s, rng.Intn(sc.N())); j != assign.Local {
+					if err := a.Offload(u, s, j); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		f, _ := KKT(sc, a)
+		if a.Offloaded() == 0 {
+			return true
+		}
+		base, err := Objective(sc, a, f)
+		if err != nil {
+			return false
+		}
+		// Perturb within each server: shift a fraction of one user's
+		// rate to another user on the same server.
+		pert := Allocation{FUs: append([]float64(nil), f.FUs...)}
+		for s := 0; s < sc.S(); s++ {
+			users := a.UsersOf(s, nil)
+			if len(users) < 2 {
+				continue
+			}
+			from, to := users[0], users[1]
+			delta := pert.FUs[from] * 0.3 * rng.Float64()
+			pert.FUs[from] -= delta
+			pert.FUs[to] += delta
+		}
+		obj, err := Objective(sc, a, pert)
+		if err != nil {
+			return false
+		}
+		return obj >= base-1e-9*math.Abs(base)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualSplitFeasibleButWeaker(t *testing.T) {
+	sc := buildScenario(t, 6)
+	// Give the users unequal eta by varying lambda, so equal split is
+	// strictly suboptimal.
+	for i := range sc.Users {
+		sc.Users[i].Lambda = 0.2 + 0.15*float64(i)
+		if sc.Users[i].Lambda > 1 {
+			sc.Users[i].Lambda = 1
+		}
+	}
+	if err := sc.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := offloadSome(t, sc, map[int][2]int{0: {0, 0}, 1: {0, 1}, 2: {0, 2}})
+	eq := EqualSplit(sc, a)
+	if err := Validate(sc, a, eq); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := KKT(sc, a)
+	kktObj, err := Objective(sc, a, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqObj, err := Objective(sc, a, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eqObj < kktObj {
+		t.Errorf("equal split %.9g beats KKT %.9g", eqObj, kktObj)
+	}
+	if math.Abs(eqObj-kktObj) < 1e-12 {
+		t.Error("equal split ties KKT despite unequal eta — suspicious")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	sc := buildScenario(t, 4)
+	a := offloadSome(t, sc, map[int][2]int{0: {0, 0}})
+	tests := []struct {
+		name string
+		f    Allocation
+	}{
+		{name: "wrong length", f: Allocation{FUs: make([]float64, 2)}},
+		{name: "local user with rate", f: Allocation{FUs: []float64{1e9, 5, 0, 0}}},
+		{name: "offloaded user without rate", f: Allocation{FUs: []float64{0, 0, 0, 0}}},
+		{name: "over capacity", f: Allocation{FUs: []float64{sc.Servers[0].FHz * 2, 0, 0, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Validate(sc, a, tt.f); err == nil {
+				t.Error("invalid allocation accepted")
+			}
+		})
+	}
+	f, _ := KKT(sc, a)
+	if err := Validate(sc, a, f); err != nil {
+		t.Errorf("KKT allocation rejected: %v", err)
+	}
+}
+
+func TestObjectiveErrors(t *testing.T) {
+	sc := buildScenario(t, 4)
+	a := offloadSome(t, sc, map[int][2]int{0: {0, 0}})
+	if _, err := Objective(sc, a, Allocation{FUs: make([]float64, 1)}); err == nil {
+		t.Error("wrong-length allocation accepted")
+	}
+	if _, err := Objective(sc, a, Allocation{FUs: make([]float64, 4)}); err == nil {
+		t.Error("zero rate for offloaded user accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// TestKKTScaleInvarianceProperty: scaling every server's capacity by k
+// scales every allocated rate by k and the optimal cost Λ by 1/k — the
+// closed form is homogeneous of degree −1 in capacity.
+func TestKKTScaleInvarianceProperty(t *testing.T) {
+	base := buildScenario(t, 6)
+	a := offloadSome(t, base, map[int][2]int{0: {0, 0}, 1: {0, 1}, 2: {1, 0}, 3: {2, 2}})
+	fBase, lambdaBase := KKT(base, a)
+
+	prop := func(rawK float64) bool {
+		k := 0.1 + math.Abs(math.Mod(rawK, 10))
+		scaled := buildScenario(t, 6)
+		for i := range scaled.Servers {
+			scaled.Servers[i].FHz = base.Servers[i].FHz * k
+		}
+		if err := scaled.Finalize(); err != nil {
+			return false
+		}
+		fScaled, lambdaScaled := KKT(scaled, a)
+		if math.Abs(lambdaScaled-lambdaBase/k) > 1e-9*lambdaBase/k {
+			return false
+		}
+		for u := range fScaled.FUs {
+			if math.Abs(fScaled.FUs[u]-fBase.FUs[u]*k) > 1e-6*(1+fBase.FUs[u]*k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKKTPermutationInvarianceProperty: the allocation depends only on who
+// shares a server, not on which subchannels they occupy.
+func TestKKTPermutationInvarianceProperty(t *testing.T) {
+	sc := buildScenario(t, 5)
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		a, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			return false
+		}
+		// Users 0..2 on server 0, arbitrary channels.
+		perm := rng.Perm(sc.N())
+		for u := 0; u < 3 && u < sc.N(); u++ {
+			if err := a.Offload(u, 0, perm[u]); err != nil {
+				return false
+			}
+		}
+		_, lambda1 := KKT(sc, a)
+		// Re-place on different channels.
+		b, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			return false
+		}
+		perm2 := rng.Perm(sc.N())
+		for u := 0; u < 3 && u < sc.N(); u++ {
+			if err := b.Offload(u, 0, perm2[u]); err != nil {
+				return false
+			}
+		}
+		_, lambda2 := KKT(sc, b)
+		return math.Abs(lambda1-lambda2) <= 1e-12*(1+math.Abs(lambda1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKKTMonotoneInLoadProperty: adding a user to a server cannot lower
+// the server's optimal cost contribution.
+func TestKKTMonotoneInLoadProperty(t *testing.T) {
+	sc := buildScenario(t, 8)
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Lambda(sc, a)
+	for u := 0; u < 4; u++ {
+		if err := a.Offload(u, 0, u); err != nil {
+			t.Fatal(err)
+		}
+		cur := Lambda(sc, a)
+		if cur < prev {
+			t.Fatalf("adding user %d lowered Lambda: %g -> %g", u, prev, cur)
+		}
+		prev = cur
+	}
+}

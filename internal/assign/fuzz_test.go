@@ -1,0 +1,52 @@
+package assign
+
+import (
+	"testing"
+)
+
+// FuzzOperationSequence drives arbitrary operation sequences through the
+// assignment and checks the structural invariants after every step. The
+// fuzzer decodes each input byte as one operation on small dimensions.
+func FuzzOperationSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40})
+	f.Add([]byte{255, 254, 253})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const users, servers, channels = 5, 3, 2
+		a, err := New(users, servers, channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range ops {
+			u := int(op) % users
+			s := int(op>>2) % servers
+			j := int(op>>4) % channels
+			switch op % 5 {
+			case 0:
+				// Offload to a free slot only; occupied is a legal no-op error.
+				_ = a.Offload(u, s, j)
+			case 1:
+				if _, err := a.Evict(u, s, j); err != nil {
+					t.Fatalf("op %d: evict: %v", i, err)
+				}
+			case 2:
+				a.SetLocal(u)
+			case 3:
+				a.Swap(u, int(op>>5)%users)
+			case 4:
+				c := a.Clone()
+				if !a.Equal(c) {
+					t.Fatalf("op %d: clone differs", i)
+				}
+				if err := a.CopyFrom(c); err != nil {
+					t.Fatalf("op %d: copy: %v", i, err)
+				}
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("op %d (byte %d): invariants broken: %v", i, op, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Package baseline implements the four comparison schedulers of the
+// paper's evaluation: the exhaustive optimum, the hJTORA heuristic of Tran
+// & Pompili, a greedy signal-strength offloader, and a hill-climbing local
+// search.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// DefaultExhaustiveLimit bounds the search-space size Exhaustive accepts by
+// default: (S·N + 1)^U must not exceed it. The paper only runs the
+// exhaustive method on the Fig. 3 configuration (U=6, S=4, N=2 → 9^6 ≈
+// 5.3·10⁵ leaves), far below this limit.
+const DefaultExhaustiveLimit = 5e8
+
+// Exhaustive finds the global optimum by depth-first enumeration of every
+// feasible decision. It is exponential in the user count and refuses
+// instances whose search space exceeds its limit.
+type Exhaustive struct {
+	// Limit overrides DefaultExhaustiveLimit when positive.
+	Limit float64
+}
+
+var _ solver.Scheduler = (*Exhaustive)(nil)
+
+// Name implements solver.Scheduler.
+func (x *Exhaustive) Name() string { return "Exhaustive" }
+
+// Schedule implements solver.Scheduler. The rng is unused: enumeration is
+// deterministic.
+func (x *Exhaustive) Schedule(sc *scenario.Scenario, _ *simrand.Source) (solver.Result, error) {
+	started := time.Now()
+	limit := x.Limit
+	if limit <= 0 {
+		limit = DefaultExhaustiveLimit
+	}
+	space := 1.0
+	perUser := float64(sc.S()*sc.N() + 1)
+	for u := 0; u < sc.U(); u++ {
+		space *= perUser
+		if space > limit {
+			return solver.Result{}, fmt.Errorf(
+				"baseline: exhaustive search space (S·N+1)^U = %.0f^%d exceeds limit %g",
+				perUser, sc.U(), limit)
+		}
+	}
+
+	eval := objective.New(sc)
+	cur, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		return solver.Result{}, err
+	}
+	best := cur.Clone()
+	bestJ := eval.SystemUtility(best)
+	evaluations := 1
+
+	var dfs func(u int)
+	dfs = func(u int) {
+		if u == sc.U() {
+			if j := eval.SystemUtility(cur); j > bestJ {
+				bestJ = j
+				if err := best.CopyFrom(cur); err != nil {
+					panic("baseline: exhaustive copy: " + err.Error())
+				}
+			}
+			evaluations++
+			return
+		}
+		// Option 1: user u stays local.
+		dfs(u + 1)
+		// Option 2: every currently free slot.
+		for s := 0; s < sc.S(); s++ {
+			for j := 0; j < sc.N(); j++ {
+				if cur.Occupant(s, j) != assign.Local {
+					continue
+				}
+				if err := cur.Offload(u, s, j); err != nil {
+					panic("baseline: exhaustive offload: " + err.Error())
+				}
+				dfs(u + 1)
+				cur.SetLocal(u)
+			}
+		}
+	}
+	dfs(0)
+	return solver.Finish(x.Name(), eval, best, evaluations, started), nil
+}

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// TestSeedsExploreDifferentWalks: distinct seeds should produce distinct
+// evaluation counts or decisions on a contended instance — a constant
+// outcome would indicate the rng is not actually driving the search.
+func TestSeedsExploreDifferentWalks(t *testing.T) {
+	// A 12-user instance with a starved budget: seeds land in different
+	// basins. (On tiny instances all seeds legitimately find the same
+	// optimum.)
+	sc := tinyScenarioWithUsers(t, 61, 12)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 300
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[string]bool)
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, err := ts.Schedule(sc, simrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[res.Assignment.String()] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("6 seeds produced %d distinct walks", len(distinct))
+	}
+}
+
+// TestAllSeedsRemainFeasible fuzzes the full scheduler across many seeds,
+// verifying feasibility of every output.
+func TestAllSeedsRemainFeasible(t *testing.T) {
+	sc := tinyScenario(t, 67)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 600
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 40; seed++ {
+		res, err := ts.Schedule(sc, simrand.New(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := solver.Verify(sc, res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestScheduleFromValidation covers the warm-start error paths.
+func TestScheduleFromValidation(t *testing.T) {
+	sc := tinyScenario(t, 71)
+	ts := core.NewDefault()
+	if _, err := ts.ScheduleFrom(sc, simrand.New(1), nil); err == nil {
+		t.Error("nil warm start accepted")
+	}
+	other := tinyScenario(t, 72)
+	seed, err := solver.RandomFeasible(other, simrand.New(2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dimensions: accepted even though it came from another draw.
+	if _, err := ts.ScheduleFrom(sc, simrand.New(1), seed); err != nil {
+		t.Errorf("dimension-compatible warm start rejected: %v", err)
+	}
+	// Mismatched dimensions must be rejected.
+	big := tinyScenarioWithUsers(t, 73, 9)
+	bigSeed, err := solver.RandomFeasible(big, simrand.New(3), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.ScheduleFrom(sc, simrand.New(1), bigSeed); err == nil {
+		t.Error("mismatched warm start accepted")
+	}
+}
+
+// TestScheduleFromDoesNotMutateInitial ensures the warm-start seed decision
+// survives the search untouched.
+func TestScheduleFromDoesNotMutateInitial(t *testing.T) {
+	sc := tinyScenario(t, 79)
+	ts := core.NewDefault()
+	initial, err := solver.RandomFeasible(sc, simrand.New(4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := initial.Clone()
+	if _, err := ts.ScheduleFrom(sc, simrand.New(5), initial); err != nil {
+		t.Fatal(err)
+	}
+	if !initial.Equal(snapshot) {
+		t.Error("ScheduleFrom mutated the caller's decision")
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// Neighborhood exposes the Algorithm 2 move generator so other searchers
+// (the LocalSearch baseline, tests, ablations) can explore the same
+// neighbourhood TTSA does.
+type Neighborhood struct {
+	inner *neighborhood
+}
+
+// NeighborhoodFor builds a move generator from cfg's move mix and eviction
+// policy.
+func NeighborhoodFor(cfg Config) *Neighborhood {
+	return &Neighborhood{inner: newNeighborhood(cfg)}
+}
+
+// Apply mutates a into a random neighbouring feasible decision, reporting
+// whether the decision changed.
+func (n *Neighborhood) Apply(a *assign.Assignment, rng *simrand.Source) bool {
+	return n.inner.Apply(a, rng)
+}

@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+func TestScheduleTraceMatchesSchedule(t *testing.T) {
+	sc := tinyScenario(t, 29)
+	ts := core.NewDefault()
+	plain, err := ts.Schedule(sc, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, trace, err := ts.ScheduleTrace(sc, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Utility != traced.Utility || !plain.Assignment.Equal(traced.Assignment) {
+		t.Error("traced run diverged from plain run on the same seed")
+	}
+	if plain.Evaluations != traced.Evaluations {
+		t.Errorf("evaluation counts differ: %d vs %d", plain.Evaluations, traced.Evaluations)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace points recorded")
+	}
+	// Trace invariants: stages sequential, temperature strictly
+	// decreasing, best monotone non-decreasing, best >= current is NOT
+	// required (current can exceed... no: best tracks max), evaluations
+	// non-decreasing.
+	for i, pt := range trace {
+		if pt.Stage != i {
+			t.Fatalf("trace stage %d at index %d", pt.Stage, i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := trace[i-1]
+		if pt.Temp >= prev.Temp {
+			t.Fatalf("temperature did not decrease: %g -> %g", prev.Temp, pt.Temp)
+		}
+		if pt.Best < prev.Best {
+			t.Fatalf("best utility decreased: %g -> %g", prev.Best, pt.Best)
+		}
+		if pt.Evaluations < prev.Evaluations {
+			t.Fatalf("evaluations decreased: %d -> %d", prev.Evaluations, pt.Evaluations)
+		}
+	}
+	final := trace[len(trace)-1]
+	if final.Best != traced.Utility {
+		t.Errorf("final trace best %g != result utility %g", final.Best, traced.Utility)
+	}
+}
+
+func TestTraceRecordsAcceleratedCooling(t *testing.T) {
+	// With a tiny threshold every stage at high temperature should
+	// accelerate: the trigger is easy to fire when most moves are
+	// accepted as deteriorations.
+	cfg := core.DefaultConfig()
+	cfg.ThresholdFactor = 0.01
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tinyScenario(t, 31)
+	_, trace, err := ts.ScheduleTrace(sc, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accelerated := 0
+	for _, pt := range trace {
+		if pt.Accelerated {
+			accelerated++
+		}
+	}
+	if accelerated == 0 {
+		t.Error("threshold 0.01·L never fired the accelerated cooling")
+	}
+	// Plain SA must never accelerate.
+	cfg = core.DefaultConfig()
+	cfg.DisableThreshold = true
+	ts, err = core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err = ts.ScheduleTrace(sc, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range trace {
+		if pt.Accelerated {
+			t.Fatal("plain SA recorded an accelerated stage")
+		}
+	}
+}
+
+func TestMultiStartValidation(t *testing.T) {
+	if _, err := core.NewMultiStart(core.DefaultConfig(), 0, 0); err == nil {
+		t.Error("zero starts accepted")
+	}
+	if _, err := core.NewMultiStart(core.DefaultConfig(), 4, -1); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	bad := core.DefaultConfig()
+	bad.CoolNormal = 0
+	if _, err := core.NewMultiStart(bad, 4, 0); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestMultiStartBeatsOrTiesSingleChain(t *testing.T) {
+	sc := tinyScenario(t, 37)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 2000 // starve single chains so restarts matter
+	single, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := core.NewMultiStart(cfg, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Name() != "TSAJS-MS" || multi.Starts() != 6 {
+		t.Errorf("metadata: %q / %d", multi.Name(), multi.Starts())
+	}
+	s, err := single.Schedule(sc, simrand.New(1).Derive(0xc4a1+0)) // chain 0's stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := multi.Schedule(sc, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utility < s.Utility-1e-9 {
+		t.Errorf("multi-start %.6f below its own first chain %.6f", m.Utility, s.Utility)
+	}
+	if err := solver.Verify(sc, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Evaluations < s.Evaluations {
+		t.Errorf("multi-start evaluations %d below a single chain's %d", m.Evaluations, s.Evaluations)
+	}
+}
+
+func TestMultiStartDeterministic(t *testing.T) {
+	sc := tinyScenario(t, 41)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 1500
+	multi, err := core.NewMultiStart(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := multi.Schedule(sc, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := multi.Schedule(sc, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility != b.Utility || !a.Assignment.Equal(b.Assignment) {
+		t.Error("multi-start is not deterministic in the seed")
+	}
+}

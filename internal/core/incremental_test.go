@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// TestIncrementalModeNearIdentical: the incremental evaluator computes the
+// same objective up to floating-point summation order, so an incremental
+// run must stay feasible and land within noise of the standard run; on
+// tiny instances both must find the exhaustive optimum.
+func TestIncrementalModeNearIdentical(t *testing.T) {
+	ex := &baseline.Exhaustive{}
+	for _, seed := range []uint64{1, 2, 3} {
+		sc := tinyScenario(t, seed)
+		opt, err := ex.Schedule(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Incremental = true
+		ts, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ts.Schedule(sc, simrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := solver.Verify(sc, res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Utility > opt.Utility+1e-9 {
+			t.Fatalf("seed %d: incremental TTSA %.9f beats the optimum %.9f — delta evaluation is wrong",
+				seed, res.Utility, opt.Utility)
+		}
+		if opt.Utility > 0 && res.Utility < 0.98*opt.Utility {
+			t.Errorf("seed %d: incremental TTSA %.6f below 98%% of optimum %.6f",
+				seed, res.Utility, opt.Utility)
+		}
+	}
+}
+
+// TestIncrementalResultUtilityConsistent: the Result's utility (recomputed
+// by solver.Finish with the full evaluator) must match the decision — the
+// delta path cannot drift away from the true objective.
+func TestIncrementalResultUtilityConsistent(t *testing.T) {
+	sc := tinyScenarioWithUsers(t, 83, 14)
+	cfg := core.DefaultConfig()
+	cfg.Incremental = true
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ts.Schedule(sc, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finish recomputes with the full evaluator; a drifting cache would
+	// have selected a "best" whose true utility is worse than an earlier
+	// candidate's — detectable as the standard run beating it by a wide
+	// margin on the same seed.
+	std, err := core.NewDefault().Schedule(sc, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-std.Utility) > 0.05*(1+math.Abs(std.Utility)) {
+		t.Errorf("incremental %.6f vs standard %.6f on the same seed — more than noise apart",
+			res.Utility, std.Utility)
+	}
+}
+
+// TestIncrementalDeterministic: incremental mode is deterministic in the
+// seed like every other mode.
+func TestIncrementalDeterministic(t *testing.T) {
+	sc := tinyScenarioWithUsers(t, 89, 12)
+	cfg := core.DefaultConfig()
+	cfg.Incremental = true
+	cfg.MaxEvaluations = 3000
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ts.Schedule(sc, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ts.Schedule(sc, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility != b.Utility || !a.Assignment.Equal(b.Assignment) {
+		t.Error("incremental mode not deterministic")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// MultiStart runs several independent TTSA chains from distinct random
+// starting points and returns the best result. Simulated annealing is a
+// randomized search whose outcome varies with the initial solution; the
+// paper's single-chain TTSA occasionally lands in a worse basin, and
+// independent restarts are the standard remedy. Chains run concurrently,
+// so on a multi-core host K restarts cost roughly one chain of wall time.
+type MultiStart struct {
+	base   *TTSA
+	starts int
+	par    int
+}
+
+var _ solver.Scheduler = (*MultiStart)(nil)
+
+// NewMultiStart wraps cfg into a scheduler with `starts` independent
+// chains. parallelism bounds concurrent chains (0 means GOMAXPROCS).
+func NewMultiStart(cfg Config, starts, parallelism int) (*MultiStart, error) {
+	if starts <= 0 {
+		return nil, fmt.Errorf("core: multi-start needs at least one chain, got %d", starts)
+	}
+	if parallelism < 0 {
+		return nil, fmt.Errorf("core: parallelism must be non-negative, got %d", parallelism)
+	}
+	base, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &MultiStart{base: base, starts: starts, par: parallelism}, nil
+}
+
+// Name implements solver.Scheduler.
+func (m *MultiStart) Name() string { return "TSAJS-MS" }
+
+// Starts returns the number of chains.
+func (m *MultiStart) Starts() int { return m.starts }
+
+// Schedule implements solver.Scheduler. Each chain derives an independent
+// stream from rng, so results are deterministic in the incoming seed
+// regardless of scheduling interleavings.
+func (m *MultiStart) Schedule(sc *scenario.Scenario, rng *simrand.Source) (solver.Result, error) {
+	started := time.Now()
+	results := make([]solver.Result, m.starts)
+	errs := make([]error, m.starts)
+
+	sem := make(chan struct{}, m.par)
+	var wg sync.WaitGroup
+	for i := 0; i < m.starts; i++ {
+		chainRNG := rng.Derive(uint64(i) + 0xc4a1)
+		wg.Add(1)
+		go func(i int, chainRNG *simrand.Source) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = m.base.Schedule(sc, chainRNG)
+		}(i, chainRNG)
+	}
+	wg.Wait()
+
+	bestIdx := -1
+	evaluations := 0
+	for i := range results {
+		if errs[i] != nil {
+			return solver.Result{}, fmt.Errorf("core: chain %d: %w", i, errs[i])
+		}
+		evaluations += results[i].Evaluations
+		if bestIdx == -1 || results[i].Utility > results[bestIdx].Utility {
+			bestIdx = i
+		}
+	}
+	return solver.Finish(m.Name(), objective.New(sc), results[bestIdx].Assignment, evaluations, started), nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// moveKind enumerates the Algorithm 2 move types.
+type moveKind int
+
+const (
+	moveServer moveKind = iota + 1
+	moveChannel
+	moveSwap
+	moveToggle
+)
+
+// neighborhood generates candidate decisions per Algorithm 2
+// (GetNeighborhood): pick a random target user, then with the configured
+// probabilities either move it to another server, move it to another
+// subchannel on its current server, swap its assignment with another
+// user's, or toggle its offloading state.
+type neighborhood struct {
+	weights    MoveWeights
+	evict      bool
+	cumServer  float64
+	cumChannel float64
+	cumSwap    float64
+}
+
+func newNeighborhood(cfg Config) *neighborhood {
+	total := cfg.Moves.total()
+	n := &neighborhood{weights: cfg.Moves, evict: !cfg.DisableEviction}
+	n.cumServer = cfg.Moves.MoveServer / total
+	n.cumChannel = n.cumServer + cfg.Moves.MoveChannel/total
+	n.cumSwap = n.cumChannel + cfg.Moves.Swap/total
+	return n
+}
+
+// pick draws a move kind from the configured mix.
+func (n *neighborhood) pick(rng *simrand.Source) moveKind {
+	r := rng.Float64()
+	switch {
+	case r < n.cumServer:
+		return moveServer
+	case r < n.cumChannel:
+		return moveChannel
+	case r < n.cumSwap:
+		return moveSwap
+	default:
+		return moveToggle
+	}
+}
+
+// Apply mutates a into a neighbouring feasible decision and reports whether
+// it actually changed anything. Moves that are impossible in the current
+// state (e.g. a channel move with N = 1, or a fully occupied server without
+// eviction) degrade to the closest applicable move rather than silently
+// wasting the iteration, mirroring the fallbacks in Algorithm 2.
+func (n *neighborhood) Apply(a *assign.Assignment, rng *simrand.Source) bool {
+	u := rng.Intn(a.Users())
+	switch n.pick(rng) {
+	case moveServer:
+		return n.relocateServer(a, u, rng)
+	case moveChannel:
+		if a.Channels() <= 1 || a.IsLocal(u) {
+			// K = 1 or a local target: Algorithm 2's channel branch is
+			// undefined; relocating across servers is the nearest move.
+			return n.relocateServer(a, u, rng)
+		}
+		return n.relocateChannel(a, u, rng)
+	case moveSwap:
+		return n.swap(a, u, rng)
+	default:
+		return n.toggle(a, u, rng)
+	}
+}
+
+// relocateServer implements lines 7–11: move u to a different server,
+// preferring a free subchannel and otherwise (with eviction enabled)
+// displacing a random occupant to local execution.
+func (n *neighborhood) relocateServer(a *assign.Assignment, u int, rng *simrand.Source) bool {
+	cur, _ := a.SlotOf(u)
+	if a.Servers() == 1 && cur == 0 {
+		return false // nowhere else to go
+	}
+	s := rng.Intn(a.Servers())
+	for s == cur {
+		s = rng.Intn(a.Servers())
+	}
+	return n.place(a, u, s, rng)
+}
+
+// relocateChannel implements lines 12–15: move u to another subchannel of
+// its current server.
+func (n *neighborhood) relocateChannel(a *assign.Assignment, u int, rng *simrand.Source) bool {
+	s, cur := a.SlotOf(u)
+	j := a.FreeChannel(s, rng.Intn(a.Channels()))
+	if j == assign.Local || j == cur {
+		if !n.evict {
+			return false
+		}
+		// No free subchannel: pick a random different one and evict.
+		j = rng.Intn(a.Channels())
+		for j == cur {
+			if a.Channels() == 1 {
+				return false
+			}
+			j = rng.Intn(a.Channels())
+		}
+	}
+	_, err := a.Evict(u, s, j)
+	return err == nil
+}
+
+// swap implements lines 17–19: exchange the full assignments of u and a
+// second random user.
+func (n *neighborhood) swap(a *assign.Assignment, u int, rng *simrand.Source) bool {
+	if a.Users() == 1 {
+		return false
+	}
+	v := rng.Intn(a.Users())
+	for v == u {
+		v = rng.Intn(a.Users())
+	}
+	su, _ := a.SlotOf(u)
+	sv, _ := a.SlotOf(v)
+	if su == assign.Local && sv == assign.Local {
+		return false // swapping two local users changes nothing
+	}
+	a.Swap(u, v)
+	return true
+}
+
+// toggle implements lines 20–21: flip x(u,s,j). An offloaded user goes
+// local; a local user takes a random slot.
+func (n *neighborhood) toggle(a *assign.Assignment, u int, rng *simrand.Source) bool {
+	if !a.IsLocal(u) {
+		a.SetLocal(u)
+		return true
+	}
+	return n.place(a, u, rng.Intn(a.Servers()), rng)
+}
+
+// place puts u on server s: on a free subchannel when one exists, otherwise
+// by eviction when enabled.
+func (n *neighborhood) place(a *assign.Assignment, u, s int, rng *simrand.Source) bool {
+	j := a.FreeChannel(s, rng.Intn(a.Channels()))
+	if j == assign.Local {
+		if !n.evict {
+			return false
+		}
+		j = rng.Intn(a.Channels())
+	}
+	_, err := a.Evict(u, s, j)
+	return err == nil
+}

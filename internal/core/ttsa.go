@@ -1,0 +1,60 @@
+package core
+
+import (
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// TTSA is the Threshold-Triggered Simulated Annealing scheduler
+// (Algorithm 1 of the paper). It is stateless between solves and safe for
+// concurrent Schedule calls.
+type TTSA struct {
+	cfg Config
+}
+
+var _ solver.Scheduler = (*TTSA)(nil)
+
+// New returns a TTSA scheduler with the given configuration.
+func New(cfg Config) (*TTSA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &TTSA{cfg: cfg}, nil
+}
+
+// NewDefault returns a TTSA scheduler with the paper's published constants.
+func NewDefault() *TTSA {
+	t, err := New(DefaultConfig())
+	if err != nil {
+		panic("core: default config invalid: " + err.Error())
+	}
+	return t
+}
+
+// Config returns the scheduler's configuration.
+func (t *TTSA) Config() Config { return t.cfg }
+
+// Name implements solver.Scheduler.
+func (t *TTSA) Name() string { return "TSAJS" }
+
+// Schedule runs Algorithm 1:
+//
+//	T ← N; T_min ← 1e-9; α₁ ← 0.97; α₂ ← 0.90; L ← 30; maxCount ← 1.75·L
+//	X_old ← random feasible; loop until T ≤ T_min:
+//	  repeat L times:
+//	    X_new ← GetNeighborhood(X_old)         (Algorithm 2)
+//	    F_new ← KKT allocation (Eq. 22);  J_new ← J*(X_new) (Eq. 24)
+//	    accept improvements; accept deteriorations w.p. exp(δ/T),
+//	    counting accepted deteriorations
+//	  cool with α₁, or with α₂ once the counter crosses maxCount
+//
+// The best decision seen anywhere in the walk is returned.
+//
+// Schedule is the untraced form of ScheduleTrace; both run the identical
+// algorithm and, for the same scenario and rng state, return the identical
+// result.
+func (t *TTSA) Schedule(sc *scenario.Scenario, rng *simrand.Source) (solver.Result, error) {
+	res, _, err := t.run(sc, rng, false, nil)
+	return res, err
+}

@@ -1,0 +1,283 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+func tinyScenario(t *testing.T, seed uint64) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = 5
+	p.NumServers = 3
+	p.NumChannels = 2
+	p.Workload.WorkCycles = 3000e6
+	p.Seed = seed
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := core.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{name: "negative initial temp", mutate: func(c *core.Config) { c.InitialTemp = -1 }},
+		{name: "zero min temp", mutate: func(c *core.Config) { c.MinTemp = 0 }},
+		{name: "initial below min", mutate: func(c *core.Config) { c.InitialTemp = 1e-12 }},
+		{name: "alpha1 out of range", mutate: func(c *core.Config) { c.CoolNormal = 1 }},
+		{name: "alpha2 out of range", mutate: func(c *core.Config) { c.CoolFast = 0 }},
+		{name: "zero inner iterations", mutate: func(c *core.Config) { c.InnerIterations = 0 }},
+		{name: "zero threshold", mutate: func(c *core.Config) { c.ThresholdFactor = 0 }},
+		{name: "bad offload prob", mutate: func(c *core.Config) { c.InitOffloadProb = 1.5 }},
+		{name: "zero move weights", mutate: func(c *core.Config) { c.Moves = core.MoveWeights{} }},
+		{name: "negative move weight", mutate: func(c *core.Config) { c.Moves.Swap = -1 }},
+		{name: "negative eval cap", mutate: func(c *core.Config) { c.MaxEvaluations = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+			if _, err := core.New(cfg); err == nil {
+				t.Error("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesAlgorithm1(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if cfg.MinTemp != 1e-9 {
+		t.Errorf("T_min = %g, want 1e-9", cfg.MinTemp)
+	}
+	if cfg.CoolNormal != 0.97 {
+		t.Errorf("alpha1 = %g, want 0.97", cfg.CoolNormal)
+	}
+	if cfg.CoolFast != 0.90 {
+		t.Errorf("alpha2 = %g, want 0.90", cfg.CoolFast)
+	}
+	if cfg.InnerIterations != 30 {
+		t.Errorf("L = %d, want 30", cfg.InnerIterations)
+	}
+	if cfg.ThresholdFactor != 1.75 {
+		t.Errorf("threshold factor = %g, want 1.75", cfg.ThresholdFactor)
+	}
+	if cfg.InitialTemp != 0 {
+		t.Errorf("initial temp = %g, want 0 (meaning T=N)", cfg.InitialTemp)
+	}
+	// The Algorithm 2 thresholds 0.05/0.2/0.75 translate to this mix.
+	if cfg.Moves != (core.MoveWeights{MoveServer: 0.55, MoveChannel: 0.25, Swap: 0.15, Toggle: 0.05}) {
+		t.Errorf("move mix = %+v", cfg.Moves)
+	}
+}
+
+func TestScheduleFeasibleAndReproducible(t *testing.T) {
+	sc := tinyScenario(t, 7)
+	ts := core.NewDefault()
+	if ts.Name() != "TSAJS" {
+		t.Errorf("Name = %q", ts.Name())
+	}
+	a, err := ts.Schedule(sc, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(sc, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ts.Schedule(sc, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility != b.Utility || !a.Assignment.Equal(b.Assignment) {
+		t.Error("identical seeds produced different schedules")
+	}
+	if a.Evaluations < 100 {
+		t.Errorf("suspiciously few evaluations: %d", a.Evaluations)
+	}
+}
+
+func TestScheduleMatchesExhaustiveOnTinyInstances(t *testing.T) {
+	// The paper's Fig. 3 claim: TTSA is near-optimal. On 5-user
+	// instances it should land within 2% of the exhaustive optimum on
+	// most seeds — we require it on all of these fixed seeds.
+	ts := core.NewDefault()
+	ex := &baseline.Exhaustive{}
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		sc := tinyScenario(t, seed)
+		got, err := ts.Schedule(sc, simrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := ex.Schedule(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Utility > opt.Utility+1e-9 {
+			t.Fatalf("seed %d: TTSA %.6f beats the exhaustive optimum %.6f — objective bug",
+				seed, got.Utility, opt.Utility)
+		}
+		if opt.Utility > 0 && got.Utility < 0.98*opt.Utility {
+			t.Errorf("seed %d: TTSA %.6f below 98%% of optimum %.6f", seed, got.Utility, opt.Utility)
+		}
+	}
+}
+
+func TestScheduleImprovesOnInitial(t *testing.T) {
+	sc := tinyScenario(t, 11)
+	init, err := solver.RandomFeasible(sc, simrand.New(3), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initJ := objective.New(sc).SystemUtility(init)
+	res, err := core.NewDefault().Schedule(sc, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility < initJ-1e-9 {
+		t.Errorf("TTSA final %.6f below its own initial %.6f", res.Utility, initJ)
+	}
+}
+
+func TestScheduleRespectsEvaluationCap(t *testing.T) {
+	sc := tinyScenario(t, 13)
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 200
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ts.Schedule(sc, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 200 {
+		t.Errorf("evaluations = %d exceeds cap 200", res.Evaluations)
+	}
+	if err := solver.Verify(sc, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleWithExplicitInitialTemp(t *testing.T) {
+	sc := tinyScenario(t, 17)
+	cfg := core.DefaultConfig()
+	cfg.InitialTemp = 0.5
+	cfg.MaxEvaluations = 3000
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ts.Schedule(sc, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(sc, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdTriggerShortensSchedule(t *testing.T) {
+	// With the threshold trigger active, phases of heavy deterioration
+	// acceptance cool at alpha2 < alpha1, so the full run takes at most
+	// as many evaluations as plain SA with identical inputs.
+	sc := tinyScenario(t, 19)
+	withCfg := core.DefaultConfig()
+	with, err := core.New(withCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutCfg := core.DefaultConfig()
+	withoutCfg.DisableThreshold = true
+	without, err := core.New(withoutCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := with.Schedule(sc, simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := without.Schedule(sc, simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluations > b.Evaluations {
+		t.Errorf("threshold-triggered run used %d evaluations, plain SA %d — trigger never fired or slowed cooling",
+			a.Evaluations, b.Evaluations)
+	}
+	// Both must remain feasible and sane.
+	for _, r := range []solver.Result{a, b} {
+		if err := solver.Verify(sc, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.InnerIterations = 17
+	ts, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Config().InnerIterations; got != 17 {
+		t.Errorf("Config().InnerIterations = %d, want 17", got)
+	}
+}
+
+func TestScheduleSingleUserSingleServer(t *testing.T) {
+	// Degenerate topology: the scheduler must still terminate and decide
+	// local-vs-offload correctly.
+	p := scenario.DefaultParams()
+	p.NumUsers = 1
+	p.NumServers = 1
+	p.NumChannels = 1
+	p.Workload.WorkCycles = 4000e6
+	p.Seed = 23
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewDefault().Schedule(sc, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (&baseline.Exhaustive{}).Schedule(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-opt.Utility) > 1e-9 {
+		t.Errorf("1x1x1 instance: TTSA %.6f, optimum %.6f", res.Utility, opt.Utility)
+	}
+}
+
+// tinyScenarioWithUsers builds a test instance with a custom user count.
+func tinyScenarioWithUsers(t *testing.T, seed uint64, users int) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = users
+	p.NumServers = 3
+	p.NumChannels = 2
+	p.Workload.WorkCycles = 3000e6
+	p.Seed = seed
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}

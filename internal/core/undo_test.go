@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// TestApplyUndoRoundTripProperty: for any feasible decision, any move
+// followed by Revert restores the exact original decision.
+func TestApplyUndoRoundTripProperty(t *testing.T) {
+	moves := newNeighborhood(DefaultConfig())
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		a, err := assign.New(9, 3, 2)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < 9; u++ {
+			if rng.Float64() < 0.5 {
+				s := rng.Intn(3)
+				if j := a.FreeChannel(s, rng.Intn(2)); j != assign.Local {
+					if err := a.Offload(u, s, j); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		var undo Undo
+		for step := 0; step < 300; step++ {
+			before := a.Clone()
+			changed := moves.applyUndo(a, rng, &undo)
+			if a.Validate() != nil {
+				return false
+			}
+			if err := undo.Revert(a); err != nil {
+				return false
+			}
+			if !a.Equal(before) {
+				t.Logf("seed %d step %d (changed=%v): revert mismatch\nbefore %v\nafter  %v",
+					seed, step, changed, before, a)
+				return false
+			}
+			if a.Validate() != nil {
+				return false
+			}
+			// Re-apply a move and keep it, so the walk explores states.
+			moves.applyUndo(a, rng, &undo)
+			undo.reset()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyUndoSameDrawsAsApply: ApplyUndo must consume the identical rng
+// sequence and produce the identical mutation as Apply, so switching the
+// TTSA loop to in-place+undo preserved published behaviour.
+func TestApplyUndoSameDrawsAsApply(t *testing.T) {
+	moves := newNeighborhood(DefaultConfig())
+	mkStart := func() *assign.Assignment {
+		a, err := assign.New(8, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := simrand.New(99)
+		for u := 0; u < 8; u++ {
+			if rng.Float64() < 0.5 {
+				s := rng.Intn(3)
+				if j := a.FreeChannel(s, rng.Intn(2)); j != assign.Local {
+					if err := a.Offload(u, s, j); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return a
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		a1 := mkStart()
+		a2 := mkStart()
+		rng1 := simrand.New(seed)
+		rng2 := simrand.New(seed)
+		var undo Undo
+		for step := 0; step < 100; step++ {
+			c1 := moves.Apply(a1, rng1)
+			c2 := moves.applyUndo(a2, rng2, &undo)
+			if c1 != c2 {
+				t.Fatalf("seed %d step %d: changed %v vs %v", seed, step, c1, c2)
+			}
+			if !a1.Equal(a2) {
+				t.Fatalf("seed %d step %d: states diverged", seed, step)
+			}
+			// Both rngs must be in lockstep afterwards.
+			if rng1.Float64() != rng2.Float64() {
+				t.Fatalf("seed %d step %d: rng streams diverged", seed, step)
+			}
+		}
+	}
+}
+
+// TestRevertEmptyUndoIsNoop: reverting with nothing recorded is safe.
+func TestRevertEmptyUndoIsNoop(t *testing.T) {
+	a, err := assign.New(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offload(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Clone()
+	var undo Undo
+	if err := undo.Revert(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(before) {
+		t.Error("empty revert changed the assignment")
+	}
+}

@@ -1,0 +1,86 @@
+package cran
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a mobile-device-side connection to a coordinator. A Client
+// serializes its own requests (one in flight per connection, matching the
+// server's in-order response guarantee); use one Client per simulated
+// device, concurrently from separate goroutines.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a coordinator at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cran: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		rd:   bufio.NewReader(conn),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Offload submits one task and waits for the coordinator's decision. The
+// context bounds the whole exchange; a response whose Error field is set
+// is returned as a Go error.
+func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
+	req.Version = ProtocolVersion
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	deadline, ok := ctx.Deadline()
+	if ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return OffloadResponse{}, fmt.Errorf("cran: set deadline: %w", err)
+		}
+	} else {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			return OffloadResponse{}, fmt.Errorf("cran: clear deadline: %w", err)
+		}
+	}
+
+	if err := c.enc.Encode(req); err != nil {
+		return OffloadResponse{}, fmt.Errorf("cran: send: %w", err)
+	}
+	line, err := c.rd.ReadBytes('\n')
+	if err != nil {
+		if ctx.Err() != nil {
+			return OffloadResponse{}, fmt.Errorf("cran: %w", ctx.Err())
+		}
+		return OffloadResponse{}, fmt.Errorf("cran: receive: %w", err)
+	}
+	var resp OffloadResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return OffloadResponse{}, fmt.Errorf("cran: decode response: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("cran: coordinator rejected request: %s", resp.Error)
+	}
+	return resp, nil
+}

@@ -1,0 +1,405 @@
+package cran
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+func testServerConfig() ServerConfig {
+	p := scenario.DefaultParams()
+	p.NumServers = 4
+	p.NumChannels = 2
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 1500
+	return ServerConfig{
+		Params:      p,
+		BatchWindow: 20 * time.Millisecond,
+		TTSA:        &ttsaCfg,
+		Seed:        5,
+	}
+}
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func testRequest(id string, x, y float64) OffloadRequest {
+	return OffloadRequest{
+		UserID: id,
+		Pos:    geom.Point{X: x, Y: y},
+		Task:   task.Task{DataBits: 420 * 8 * 1024, WorkCycles: 3000e6},
+	}
+}
+
+func TestServerConfigValidate(t *testing.T) {
+	if err := testServerConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := testServerConfig()
+	bad.Params.NumServers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid params accepted")
+	}
+	bad = testServerConfig()
+	bad.BatchWindow = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative batch window accepted")
+	}
+	bad = testServerConfig()
+	badTTSA := core.DefaultConfig()
+	badTTSA.CoolNormal = 2
+	bad.TTSA = &badTTSA
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid TTSA config accepted")
+	}
+}
+
+func TestSingleClientRoundTrip(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Offload(ctx, testRequest("user-1", 0.1, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UserID != "user-1" {
+		t.Errorf("user id = %q", resp.UserID)
+	}
+	if resp.Epoch == 0 {
+		t.Error("epoch not stamped")
+	}
+	if resp.Offload {
+		// A lone near-cell user with a heavy task should be granted the
+		// full server and see a sub-local delay.
+		if resp.FUsHz <= 0 || resp.ExpectedDelayS <= 0 {
+			t.Errorf("grant fields inconsistent: %+v", resp)
+		}
+		if resp.Server < 0 || resp.Channel < 0 {
+			t.Errorf("slot fields inconsistent: %+v", resp)
+		}
+	}
+}
+
+func TestConcurrentClientsGetDisjointSlots(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.MaxBatch = 6
+	srv := startServer(t, cfg)
+
+	const n = 6
+	responses := make([]OffloadResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cli.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			responses[i], errs[i] = cli.Offload(ctx,
+				testRequest(fmt.Sprintf("user-%d", i), 0.1*float64(i)-0.2, 0.1))
+		}(i)
+	}
+	wg.Wait()
+
+	slots := make(map[[2]int]string)
+	sameEpoch := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		sameEpoch[responses[i].Epoch]++
+		if !responses[i].Offload {
+			continue
+		}
+		key := [2]int{responses[i].Server, responses[i].Channel}
+		if prev, taken := slots[key]; taken {
+			t.Errorf("slot %v granted to both %s and %s", key, prev, responses[i].UserID)
+		}
+		slots[key] = responses[i].UserID
+	}
+	// With MaxBatch = n and concurrent submission, most requests should
+	// land in a shared epoch (joint scheduling, the point of C-RAN).
+	maxShared := 0
+	for _, count := range sameEpoch {
+		if count > maxShared {
+			maxShared = count
+		}
+	}
+	if maxShared < 2 {
+		t.Errorf("no two requests shared an epoch: %v", sameEpoch)
+	}
+}
+
+func TestSequentialRequestsOnOneConnection(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := cli.Offload(ctx, testRequest(fmt.Sprintf("seq-%d", i), 0.2, -0.1))
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.UserID != fmt.Sprintf("seq-%d", i) {
+			t.Fatalf("request %d answered as %q", i, resp.UserID)
+		}
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("{this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp OffloadResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" || !strings.Contains(resp.Error, "malformed") {
+		t.Errorf("malformed request not rejected: %+v", resp)
+	}
+}
+
+func TestInvalidTaskRejected(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req := testRequest("bad", 0, 0)
+	req.Task.WorkCycles = -5
+	if _, err := cli.Offload(ctx, req); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestEmptyUserIDRejected(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req := testRequest("", 0, 0)
+	if _, err := cli.Offload(ctx, req); err == nil {
+		t.Error("empty user id accepted")
+	}
+}
+
+func TestWrongProtocolVersionRejected(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := testRequest("versioned", 0, 0)
+	req.Version = 99
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	var resp OffloadResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" || !strings.Contains(resp.Error, "version") {
+		t.Errorf("wrong version not rejected: %+v", resp)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsService(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	addr := srv.Addr().String()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("server still accepting after Close")
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	// A coordinator with an enormous batch window will not answer before
+	// the context expires.
+	cfg := testServerConfig()
+	cfg.BatchWindow = time.Hour
+	cfg.MaxBatch = 1000
+	srv := startServer(t, cfg)
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Offload(ctx, testRequest("slow", 0, 0)); err == nil {
+		t.Error("request succeeded despite expired context")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := DialTimeout("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to a closed port succeeded")
+	}
+}
+
+func TestBatchWindowFlushesPartialBatch(t *testing.T) {
+	// One request, huge MaxBatch: only the window timer can flush it.
+	cfg := testServerConfig()
+	cfg.MaxBatch = 1000
+	cfg.BatchWindow = 30 * time.Millisecond
+	srv := startServer(t, cfg)
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := cli.Offload(ctx, testRequest("windowed", 0.1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("answered in %s, before the batch window elapsed", elapsed)
+	}
+}
+
+func TestStatsTrackService(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.MaxBatch = 2
+	srv := startServer(t, cfg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if _, err := cli.Offload(ctx, testRequest(fmt.Sprintf("s-%d", i), 0.1, 0)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// One rejected request on top.
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	bad := testRequest("", 0, 0)
+	_, _ = cli.Offload(ctx, bad)
+
+	stats := srv.Stats()
+	if stats.Requests != 4 {
+		t.Errorf("requests = %d, want 4", stats.Requests)
+	}
+	if stats.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", stats.Rejected)
+	}
+	if stats.Epochs == 0 || stats.Epochs > 4 {
+		t.Errorf("epochs = %d", stats.Epochs)
+	}
+	if stats.Offloaded+stats.Local != 4 {
+		t.Errorf("decisions = %d + %d, want 4", stats.Offloaded, stats.Local)
+	}
+	if stats.MaxBatch < 1 || stats.MaxBatch > 2 {
+		t.Errorf("max batch = %d", stats.MaxBatch)
+	}
+	if stats.MeanBatch <= 0 || stats.MeanBatch > 2 {
+		t.Errorf("mean batch = %g", stats.MeanBatch)
+	}
+	if stats.TotalSolveTime <= 0 {
+		t.Errorf("solve time = %s", stats.TotalSolveTime)
+	}
+}
+
+func TestNoGoroutineLeaksAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		srv, err := NewServer("127.0.0.1:0", testServerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if _, err := cli.Offload(ctx, testRequest("leak", 0.1, 0)); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		_ = cli.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give exiting goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

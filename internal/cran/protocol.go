@@ -1,0 +1,79 @@
+// Package cran implements the paper's deployment architecture as a running
+// service: a Cloud-RAN coordinator (the centralized BBU of Section I) that
+// collects offloading requests from mobile clients over TCP, batches them
+// into scheduling epochs, solves each epoch with TSAJS, and returns each
+// user its offloading decision and resource grant.
+//
+// The wire protocol is newline-delimited JSON: each line carries one
+// envelope. The real system would learn channel state from PHY-layer
+// measurements; here the coordinator draws gains from the same calibrated
+// path-loss model the simulator uses (see DESIGN.md's substitution table).
+package cran
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// ProtocolVersion identifies the wire format. Servers reject envelopes
+// carrying a different version.
+const ProtocolVersion = 1
+
+// OffloadRequest is a client's submission of one task for scheduling.
+type OffloadRequest struct {
+	// Version must equal ProtocolVersion.
+	Version int `json:"version"`
+	// UserID identifies the requester (opaque to the coordinator).
+	UserID string `json:"userId"`
+	// Pos is the user's reported position in network coordinates (km).
+	Pos geom.Point `json:"pos"`
+	// Task is the computation to place.
+	Task task.Task `json:"task"`
+	// Device capabilities and preferences; zero values take the
+	// coordinator's defaults.
+	FLocalHz   float64 `json:"fLocalHz,omitempty"`
+	TxPowerW   float64 `json:"txPowerW,omitempty"`
+	Kappa      float64 `json:"kappa,omitempty"`
+	BetaTime   float64 `json:"betaTime,omitempty"`
+	BetaEnergy float64 `json:"betaEnergy,omitempty"`
+	Lambda     float64 `json:"lambda,omitempty"`
+}
+
+// Validate checks the request's domain (defaults are applied before this
+// is called server-side).
+func (r OffloadRequest) Validate() error {
+	if r.Version != ProtocolVersion {
+		return fmt.Errorf("cran: protocol version %d, want %d", r.Version, ProtocolVersion)
+	}
+	if r.UserID == "" {
+		return errors.New("cran: empty user id")
+	}
+	return r.Task.Validate()
+}
+
+// OffloadResponse is the coordinator's decision for one request.
+type OffloadResponse struct {
+	Version int    `json:"version"`
+	UserID  string `json:"userId"`
+	// Error is non-empty when the request was rejected; all other fields
+	// are then meaningless.
+	Error string `json:"error,omitempty"`
+	// Offload reports the decision; when false the user should execute
+	// locally and the grant fields are zero.
+	Offload bool `json:"offload"`
+	// Server and Channel identify the granted uplink slot.
+	Server  int `json:"server"`
+	Channel int `json:"channel"`
+	// FUsHz is the granted MEC computation rate (Eq. 22).
+	FUsHz float64 `json:"fUsHz"`
+	// Expected per-task outcome under the decision.
+	ExpectedDelayS  float64 `json:"expectedDelayS"`
+	ExpectedEnergyJ float64 `json:"expectedEnergyJ"`
+	// Utility is the user's J_u under the decision (Eq. 10).
+	Utility float64 `json:"utility"`
+	// Epoch is the scheduling round that served this request.
+	Epoch uint64 `json:"epoch"`
+}

@@ -1,0 +1,395 @@
+package cran
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/radio"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/units"
+)
+
+// ServerConfig parametrizes a coordinator.
+type ServerConfig struct {
+	// Params describes the managed network (servers, subchannels, radio
+	// model) and the defaults applied to requests that omit device
+	// capabilities. NumUsers is ignored — the batch defines the users.
+	Params scenario.Params
+	// BatchWindow is how long the coordinator waits after the first
+	// request of an epoch before scheduling it (more requests in one
+	// epoch mean better joint decisions).
+	BatchWindow time.Duration
+	// MaxBatch schedules an epoch immediately once this many requests
+	// are pending (0 means S·N, the network's slot capacity).
+	MaxBatch int
+	// TTSA configures the scheduler; nil means core.DefaultConfig with a
+	// bounded evaluation budget suitable for interactive latency.
+	TTSA *core.Config
+	// Seed drives the coordinator's channel estimator and search.
+	Seed uint64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 50 * time.Millisecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = c.Params.NumServers * c.Params.NumChannels
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	cc := c.withDefaults()
+	if err := cc.Params.Validate(); err != nil {
+		return err
+	}
+	if cc.BatchWindow < 0 {
+		return fmt.Errorf("cran: batch window must be non-negative, got %s", cc.BatchWindow)
+	}
+	if cc.MaxBatch <= 0 {
+		return fmt.Errorf("cran: max batch must be positive, got %d", cc.MaxBatch)
+	}
+	if cc.TTSA != nil {
+		return cc.TTSA.Validate()
+	}
+	return nil
+}
+
+// pending is one request waiting for its epoch.
+type pending struct {
+	req   OffloadRequest
+	reply chan OffloadResponse
+}
+
+// Server is a running coordinator. Create with NewServer, stop with Close.
+type Server struct {
+	cfg    ServerConfig
+	ttsa   *core.TTSA
+	ln     net.Listener
+	sites  []geom.Point
+	rng    *simrand.Source
+	epoch  uint64
+	submit chan pending
+
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	stats statsCollector
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts a coordinator listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 20000
+	if cfg.TTSA != nil {
+		ttsaCfg = *cfg.TTSA
+	}
+	ttsa, err := core.New(ttsaCfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cran: listen: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ttsa:   ttsa,
+		ln:     ln,
+		sites:  geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
+		rng:    simrand.New(cfg.Seed),
+		submit: make(chan pending),
+		quit:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.batchLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting connections, fails pending requests, and waits for
+// all server goroutines to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	close(s.quit)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue // transient accept error
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads newline-delimited requests and writes one response per
+// request, in order.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		resp := s.handle(line)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if s.isClosed() {
+			return
+		}
+	}
+}
+
+// handle parses, validates and schedules one request line.
+func (s *Server) handle(line []byte) OffloadResponse {
+	var req OffloadRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		s.stats.requestRejected()
+		return OffloadResponse{Version: ProtocolVersion, Error: "malformed request: " + err.Error()}
+	}
+	s.applyDefaults(&req)
+	if err := req.Validate(); err != nil {
+		s.stats.requestRejected()
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: err.Error()}
+	}
+	p := pending{req: req, reply: make(chan OffloadResponse, 1)}
+	select {
+	case s.submit <- p:
+		s.stats.requestEntered()
+	case <-s.quit:
+		s.stats.requestRejected()
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+	}
+	select {
+	case resp := <-p.reply:
+		return resp
+	case <-s.quit:
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+	}
+}
+
+func (s *Server) applyDefaults(req *OffloadRequest) {
+	p := s.cfg.Params
+	if req.FLocalHz == 0 {
+		req.FLocalHz = p.UserFreqHz
+	}
+	if req.TxPowerW == 0 {
+		req.TxPowerW = units.DBmToWatts(p.TxPowerDBm)
+	}
+	if req.Kappa == 0 {
+		req.Kappa = p.Kappa
+	}
+	if req.BetaTime == 0 && req.BetaEnergy == 0 {
+		req.BetaTime = p.BetaTime
+		req.BetaEnergy = 1 - p.BetaTime
+	}
+	if req.Lambda == 0 {
+		req.Lambda = p.Lambda
+	}
+}
+
+// batchLoop groups submissions into epochs and schedules each epoch.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	var (
+		batch []pending
+		timer *time.Timer
+		fire  <-chan time.Time
+	)
+	flush := func() {
+		if len(batch) > 0 {
+			s.scheduleEpoch(batch)
+			batch = nil
+		}
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+		fire = nil
+	}
+	for {
+		select {
+		case p := <-s.submit:
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(s.cfg.BatchWindow)
+				fire = timer.C
+			}
+		case <-fire:
+			timer = nil
+			fire = nil
+			flush()
+		case <-s.quit:
+			// Fail whatever is still queued.
+			for _, p := range batch {
+				p.reply <- OffloadResponse{
+					Version: ProtocolVersion,
+					UserID:  p.req.UserID,
+					Error:   "coordinator shutting down",
+				}
+			}
+			return
+		}
+	}
+}
+
+// scheduleEpoch builds the epoch scenario from the batched requests,
+// solves it with TSAJS, and answers every request.
+func (s *Server) scheduleEpoch(batch []pending) {
+	s.epoch++
+	sc, err := s.buildScenario(batch)
+	if err != nil {
+		s.failBatch(batch, "epoch scenario: "+err.Error())
+		return
+	}
+	res, err := s.ttsa.Schedule(sc, s.rng.Derive(s.epoch))
+	if err != nil {
+		s.failBatch(batch, "scheduling: "+err.Error())
+		return
+	}
+	if err := solver.Verify(sc, res); err != nil {
+		s.failBatch(batch, "verification: "+err.Error())
+		return
+	}
+	rep := objective.New(sc).Evaluate(res.Assignment)
+	s.stats.epochScheduled(len(batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
+	for i, p := range batch {
+		m := rep.Users[i]
+		p.reply <- OffloadResponse{
+			Version:         ProtocolVersion,
+			UserID:          p.req.UserID,
+			Offload:         m.Offloaded,
+			Server:          m.Server,
+			Channel:         m.Channel,
+			FUsHz:           m.FUsHz,
+			ExpectedDelayS:  m.DelayS,
+			ExpectedEnergyJ: m.EnergyJ,
+			Utility:         m.Utility,
+			Epoch:           s.epoch,
+		}
+	}
+}
+
+func (s *Server) failBatch(batch []pending, msg string) {
+	for _, p := range batch {
+		s.stats.requestRejected()
+		p.reply <- OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg}
+	}
+}
+
+// buildScenario assembles a one-epoch scenario from the batch. Channel
+// gains come from the coordinator's calibrated path-loss model — the
+// simulator stand-in for measured CSI.
+func (s *Server) buildScenario(batch []pending) (*scenario.Scenario, error) {
+	p := s.cfg.Params
+	servers := make([]scenario.Server, len(s.sites))
+	for i, pos := range s.sites {
+		servers[i] = scenario.Server{Pos: pos, FHz: p.ServerFreqHz}
+	}
+	positions := make([]geom.Point, len(batch))
+	users := make([]scenario.User, len(batch))
+	for i, pd := range batch {
+		positions[i] = pd.req.Pos
+		users[i] = scenario.User{
+			Pos:        pd.req.Pos,
+			Task:       pd.req.Task,
+			FLocalHz:   pd.req.FLocalHz,
+			TxPowerW:   pd.req.TxPowerW,
+			Kappa:      pd.req.Kappa,
+			BetaTime:   pd.req.BetaTime,
+			BetaEnergy: pd.req.BetaEnergy,
+			Lambda:     pd.req.Lambda,
+		}
+	}
+	gain, err := radio.NewGainTensor(p.PathLoss, positions, s.sites, p.NumChannels, s.rng.Derive(s.epoch^0xc51))
+	if err != nil {
+		return nil, err
+	}
+	sc := &scenario.Scenario{
+		Users:           users,
+		Servers:         servers,
+		Gain:            gain,
+		Model:           p.PathLoss,
+		NumChannels:     p.NumChannels,
+		BandwidthHz:     p.BandwidthHz,
+		NoiseW:          units.DBmToWatts(p.NoiseDBm),
+		DownlinkRateBps: p.DownlinkRateBps,
+		Seed:            s.cfg.Seed,
+	}
+	if err := sc.Finalize(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

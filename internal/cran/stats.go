@@ -1,0 +1,69 @@
+package cran
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of a coordinator's operational counters.
+type Stats struct {
+	// Epochs is the number of scheduling rounds run.
+	Epochs uint64 `json:"epochs"`
+	// Requests counts requests that entered batching; Rejected counts
+	// malformed/invalid/shutdown-failed requests.
+	Requests uint64 `json:"requests"`
+	Rejected uint64 `json:"rejected"`
+	// Offloaded and Local count the decisions returned.
+	Offloaded uint64 `json:"offloaded"`
+	Local     uint64 `json:"local"`
+	// MaxBatch is the largest epoch batch seen; MeanBatch the average.
+	MaxBatch  int     `json:"maxBatch"`
+	MeanBatch float64 `json:"meanBatch"`
+	// TotalSolveTime aggregates scheduler wall time across epochs.
+	TotalSolveTime time.Duration `json:"totalSolveTime"`
+	// UtilitySum aggregates achieved epoch utilities.
+	UtilitySum float64 `json:"utilitySum"`
+}
+
+// statsCollector accumulates counters behind a mutex; the batch loop and
+// connection handlers update it concurrently.
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCollector) requestEntered() {
+	c.mu.Lock()
+	c.s.Requests++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) requestRejected() {
+	c.mu.Lock()
+	c.s.Rejected++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) epochScheduled(batch, offloaded int, solve time.Duration, utility float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Epochs++
+	c.s.Offloaded += uint64(offloaded)
+	c.s.Local += uint64(batch - offloaded)
+	if batch > c.s.MaxBatch {
+		c.s.MaxBatch = batch
+	}
+	// Incremental mean over epochs.
+	c.s.MeanBatch += (float64(batch) - c.s.MeanBatch) / float64(c.s.Epochs)
+	c.s.TotalSolveTime += solve
+	c.s.UtilitySum += utility
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }

@@ -1,0 +1,334 @@
+// Package dynamic extends the paper's static JTORA snapshot into a
+// multi-epoch online simulation: users move (random waypoint), tasks
+// arrive stochastically, the channel is redrawn from the new geometry, and
+// the scheduler re-optimizes each epoch — optionally warm-started from the
+// previous epoch's decision, the natural deployment mode of TSAJS behind a
+// C-RAN coordinator.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/mobility"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/radio"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/units"
+)
+
+// Config parametrizes an online simulation run.
+type Config struct {
+	// Params is the base static configuration: network size, radio
+	// model, device capabilities, task shape, preferences. NumUsers is
+	// the total population; each epoch a subset is active.
+	Params scenario.Params
+	// Epochs is the number of scheduling rounds to simulate.
+	Epochs int
+	// EpochSeconds is the wall time between rounds (drives mobility).
+	EpochSeconds float64
+	// ActiveProb is the probability that a user holds a task in a given
+	// epoch (independent across users and epochs).
+	ActiveProb float64
+	// Mobility bounds the random-waypoint speeds; zero values default to
+	// pedestrian 1–5 km/h.
+	SpeedKmHMin float64
+	SpeedKmHMax float64
+	// WarmStart re-seeds each epoch's search from the previous epoch's
+	// decision (restricted to still-active users). Cold start draws a
+	// fresh random initial decision every epoch.
+	WarmStart bool
+	// Scheduler overrides the default TTSA scheduler. Warm starting
+	// requires the default (it needs ScheduleFrom).
+	Scheduler solver.Scheduler
+	// TTSAConfig configures the default scheduler when Scheduler is nil.
+	// The zero value means core.DefaultConfig.
+	TTSAConfig *core.Config
+	// Seed drives the entire simulation (mobility, arrivals, channel,
+	// search).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpeedKmHMin == 0 {
+		c.SpeedKmHMin = 1
+	}
+	if c.SpeedKmHMax == 0 {
+		c.SpeedKmHMax = 5
+	}
+	if c.EpochSeconds == 0 {
+		c.EpochSeconds = 10
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("dynamic: epochs must be positive, got %d", c.Epochs)
+	case c.EpochSeconds <= 0:
+		return fmt.Errorf("dynamic: epoch length must be positive, got %g s", c.EpochSeconds)
+	case c.ActiveProb < 0 || c.ActiveProb > 1:
+		return fmt.Errorf("dynamic: active probability must be in [0,1], got %g", c.ActiveProb)
+	case c.WarmStart && c.Scheduler != nil:
+		return errors.New("dynamic: warm start requires the built-in TTSA scheduler")
+	}
+	return nil
+}
+
+// EpochMetrics is the outcome of one scheduling round.
+type EpochMetrics struct {
+	Epoch int `json:"epoch"`
+	// Active is the number of users holding a task this epoch; Offloaded
+	// of those, how many the scheduler sent to MEC servers.
+	Active    int `json:"active"`
+	Offloaded int `json:"offloaded"`
+	// Utility is the achieved system utility over the active users.
+	Utility float64 `json:"utility"`
+	// MeanDelayS and MeanEnergyJ average over the active users.
+	MeanDelayS  float64 `json:"meanDelayS"`
+	MeanEnergyJ float64 `json:"meanEnergyJ"`
+	// Evaluations and SolveTime measure the search effort.
+	Evaluations int           `json:"evaluations"`
+	SolveTime   time.Duration `json:"solveTime"`
+	// WarmStarted reports whether the epoch reused the previous decision.
+	WarmStarted bool `json:"warmStarted"`
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Epochs []EpochMetrics `json:"epochs"`
+	// TotalUtility sums utilities across epochs; TotalSolveTime sums
+	// search time — the headline trade-off of warm vs cold starting.
+	TotalUtility     float64       `json:"totalUtility"`
+	TotalSolveTime   time.Duration `json:"totalSolveTime"`
+	TotalEvaluations int           `json:"totalEvaluations"`
+	MeanActive       float64       `json:"meanActive"`
+	MeanOffloaded    float64       `json:"meanOffloaded"`
+}
+
+// Run executes the online simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	root := simrand.New(cfg.Seed)
+	moveRNG := root.Derive(0x6d6f7665)  // "move"
+	taskRNG := root.Derive(0x7461736b)  // "task"
+	radioRNG := root.Derive(0x72616469) // "radi"
+	solveRNG := root.Derive(0x736f6c76) // "solv"
+
+	sched := cfg.Scheduler
+	var ttsa *core.TTSA
+	if sched == nil {
+		ttsaCfg := core.DefaultConfig()
+		if cfg.TTSAConfig != nil {
+			ttsaCfg = *cfg.TTSAConfig
+		}
+		var err error
+		ttsa, err = core.New(ttsaCfg)
+		if err != nil {
+			return nil, err
+		}
+		sched = ttsa
+	}
+
+	sites := geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm)
+	pop, err := mobility.New(mobility.Config{
+		Sites:              sites,
+		CellCircumradiusKm: geom.HexCircumradius(cfg.Params.InterSiteKm),
+		SpeedKmHMin:        cfg.SpeedKmHMin,
+		SpeedKmHMax:        cfg.SpeedKmHMax,
+	}, cfg.Params.NumUsers, moveRNG)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Epochs: make([]EpochMetrics, 0, cfg.Epochs)}
+	// prevSlots maps population user -> (server, channel) from the
+	// previous epoch's decision, Local when not offloaded.
+	prevSlots := make([][2]int, cfg.Params.NumUsers)
+	for i := range prevSlots {
+		prevSlots[i] = [2]int{assign.Local, assign.Local}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if epoch > 0 {
+			if err := pop.Step(cfg.EpochSeconds); err != nil {
+				return nil, err
+			}
+		}
+
+		// Draw this epoch's active set.
+		var active []int
+		for u := 0; u < cfg.Params.NumUsers; u++ {
+			if taskRNG.Float64() < cfg.ActiveProb {
+				active = append(active, u)
+			}
+		}
+		if len(active) == 0 {
+			res.Epochs = append(res.Epochs, EpochMetrics{Epoch: epoch})
+			continue
+		}
+
+		sc, err := buildEpochScenario(cfg.Params, sites, pop, active, taskRNG, radioRNG)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+		}
+
+		var solveRes solver.Result
+		warm := false
+		epochRNG := solveRNG.Derive(uint64(epoch))
+		if cfg.WarmStart && ttsa != nil {
+			if initial := warmStart(sc, active, prevSlots); initial != nil {
+				solveRes, err = ttsa.ScheduleFrom(sc, epochRNG, initial)
+				warm = true
+			} else {
+				solveRes, err = sched.Schedule(sc, epochRNG)
+			}
+		} else {
+			solveRes, err = sched.Schedule(sc, epochRNG)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+		}
+		if err := solver.Verify(sc, solveRes); err != nil {
+			return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+		}
+
+		// Record the decision for the next epoch's warm start.
+		for i := range prevSlots {
+			prevSlots[i] = [2]int{assign.Local, assign.Local}
+		}
+		for idx, u := range active {
+			s, j := solveRes.Assignment.SlotOf(idx)
+			prevSlots[u] = [2]int{s, j}
+		}
+
+		rep := objective.New(sc).Evaluate(solveRes.Assignment)
+		res.Epochs = append(res.Epochs, EpochMetrics{
+			Epoch:       epoch,
+			Active:      len(active),
+			Offloaded:   solveRes.Assignment.Offloaded(),
+			Utility:     solveRes.Utility,
+			MeanDelayS:  rep.MeanDelayS,
+			MeanEnergyJ: rep.MeanEnergyJ,
+			Evaluations: solveRes.Evaluations,
+			SolveTime:   solveRes.Elapsed,
+			WarmStarted: warm,
+		})
+	}
+
+	for _, e := range res.Epochs {
+		res.TotalUtility += e.Utility
+		res.TotalSolveTime += e.SolveTime
+		res.TotalEvaluations += e.Evaluations
+		res.MeanActive += float64(e.Active)
+		res.MeanOffloaded += float64(e.Offloaded)
+	}
+	n := float64(len(res.Epochs))
+	res.MeanActive /= n
+	res.MeanOffloaded /= n
+	return res, nil
+}
+
+// buildEpochScenario assembles the static snapshot of the active users at
+// their current positions with a fresh channel realization.
+func buildEpochScenario(p scenario.Params, sites []geom.Point, pop *mobility.Population, active []int, taskRNG, radioRNG *simrand.Source) (*scenario.Scenario, error) {
+	servers := make([]scenario.Server, len(sites))
+	for i, pos := range sites {
+		servers[i] = scenario.Server{Pos: pos, FHz: p.ServerFreqHz}
+	}
+	positions := make([]geom.Point, len(active))
+	for i, u := range active {
+		positions[i] = pop.Position(u)
+	}
+	tasks, err := p.Workload.Generate(len(active), taskRNG)
+	if err != nil {
+		return nil, err
+	}
+	gain, err := radio.NewGainTensor(p.PathLoss, positions, sites, p.NumChannels, radioRNG)
+	if err != nil {
+		return nil, err
+	}
+	users := make([]scenario.User, len(active))
+	for i := range users {
+		users[i] = scenario.User{
+			Pos:        positions[i],
+			Task:       tasks[i],
+			FLocalHz:   p.UserFreqHz,
+			TxPowerW:   txPowerW(p),
+			Kappa:      p.Kappa,
+			BetaTime:   p.BetaTime,
+			BetaEnergy: 1 - p.BetaTime,
+			Lambda:     p.Lambda,
+		}
+	}
+	sc := &scenario.Scenario{
+		Users:           users,
+		Servers:         servers,
+		Gain:            gain,
+		Model:           p.PathLoss,
+		NumChannels:     p.NumChannels,
+		BandwidthHz:     p.BandwidthHz,
+		NoiseW:          noiseW(p),
+		DownlinkRateBps: p.DownlinkRateBps,
+		Seed:            p.Seed,
+	}
+	if err := sc.Finalize(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// warmStart builds an initial decision for the epoch scenario from the
+// previous epoch's slots, keeping a slot only if its owner is still active
+// and the slot is still free. Returns nil when nothing carries over.
+func warmStart(sc *scenario.Scenario, active []int, prevSlots [][2]int) *assign.Assignment {
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		return nil
+	}
+	carried := 0
+	for idx, u := range active {
+		s, j := prevSlots[u][0], prevSlots[u][1]
+		if s == assign.Local {
+			continue
+		}
+		if s >= sc.S() || j >= sc.N() {
+			continue // network shrank since the slot was granted
+		}
+		if a.Occupant(s, j) != assign.Local {
+			continue
+		}
+		if err := a.Offload(idx, s, j); err != nil {
+			return nil
+		}
+		carried++
+	}
+	if carried == 0 {
+		return nil
+	}
+	return a
+}
+
+func txPowerW(p scenario.Params) float64 {
+	return units.DBmToWatts(p.TxPowerDBm)
+}
+
+func noiseW(p scenario.Params) float64 {
+	return units.DBmToWatts(p.NoiseDBm)
+}

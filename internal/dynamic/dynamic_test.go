@@ -1,0 +1,197 @@
+package dynamic
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/scenario"
+)
+
+func testConfig() Config {
+	p := scenario.DefaultParams()
+	p.NumUsers = 15
+	p.NumServers = 4
+	p.NumChannels = 2
+	p.Workload.WorkCycles = 2500e6
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 1500 // keep test runs fast
+	return Config{
+		Params:       p,
+		Epochs:       6,
+		EpochSeconds: 30,
+		ActiveProb:   0.6,
+		TTSAConfig:   &ttsaCfg,
+		Seed:         11,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero epochs", mutate: func(c *Config) { c.Epochs = 0 }},
+		{name: "negative epoch length", mutate: func(c *Config) { c.EpochSeconds = -1 }},
+		{name: "bad active prob", mutate: func(c *Config) { c.ActiveProb = 1.5 }},
+		{name: "bad params", mutate: func(c *Config) { c.Params.NumUsers = 0 }},
+		{name: "warm start with custom scheduler", mutate: func(c *Config) {
+			c.WarmStart = true
+			c.Scheduler = &baseline.Greedy{}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunProducesEpochMetrics(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("got %d epochs, want %d", len(res.Epochs), cfg.Epochs)
+	}
+	for i, e := range res.Epochs {
+		if e.Epoch != i {
+			t.Errorf("epoch %d labelled %d", i, e.Epoch)
+		}
+		if e.Active < 0 || e.Active > cfg.Params.NumUsers {
+			t.Errorf("epoch %d active = %d", i, e.Active)
+		}
+		if e.Offloaded > e.Active {
+			t.Errorf("epoch %d offloaded %d of %d active", i, e.Offloaded, e.Active)
+		}
+		if e.Active > 0 && (e.MeanDelayS <= 0 || e.MeanEnergyJ <= 0) {
+			t.Errorf("epoch %d has non-positive means: %+v", i, e)
+		}
+	}
+	if res.TotalUtility <= 0 {
+		t.Errorf("total utility %g", res.TotalUtility)
+	}
+	if res.MeanActive <= 0 || res.MeanOffloaded < 0 {
+		t.Errorf("aggregates: %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalUtility != b.TotalUtility || a.TotalEvaluations != b.TotalEvaluations {
+		t.Error("identical seeds produced different simulations")
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i].Utility != b.Epochs[i].Utility {
+			t.Fatalf("epoch %d utility diverged", i)
+		}
+	}
+}
+
+func TestWarmStartCarriesDecisions(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmStart = true
+	cfg.ActiveProb = 0.9 // high overlap between consecutive active sets
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for i, e := range res.Epochs {
+		if i == 0 {
+			if e.WarmStarted {
+				t.Error("first epoch cannot be warm-started")
+			}
+			continue
+		}
+		if e.WarmStarted {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Error("no epoch warm-started despite 90% activity overlap")
+	}
+}
+
+func TestColdStartNeverWarm(t *testing.T) {
+	res, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if e.WarmStarted {
+			t.Fatal("cold-start run reported a warm epoch")
+		}
+	}
+}
+
+func TestCustomSchedulerRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.TTSAConfig = nil
+	cfg.Scheduler = &baseline.Greedy{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+}
+
+func TestZeroActivityEpochs(t *testing.T) {
+	cfg := testConfig()
+	cfg.ActiveProb = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if e.Active != 0 || e.Utility != 0 || e.Offloaded != 0 {
+			t.Fatalf("idle epoch has activity: %+v", e)
+		}
+	}
+	if res.TotalUtility != 0 {
+		t.Errorf("total utility %g with no tasks", res.TotalUtility)
+	}
+}
+
+func TestWarmStartEfficiency(t *testing.T) {
+	// Warm starting must not lose utility, and across a run with heavy
+	// overlap it should match or beat cold start on total utility when
+	// the per-epoch budget is tight.
+	mk := func(warm bool) *Result {
+		cfg := testConfig()
+		cfg.Epochs = 8
+		cfg.ActiveProb = 0.9
+		cfg.WarmStart = warm
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	warm := mk(true)
+	cold := mk(false)
+	// Not a strict theorem (different random walks), but with a tight
+	// budget a warm start should stay within 5% of cold start or better.
+	if warm.TotalUtility < 0.95*cold.TotalUtility {
+		t.Errorf("warm start total utility %.3f well below cold start %.3f",
+			warm.TotalUtility, cold.TotalUtility)
+	}
+}

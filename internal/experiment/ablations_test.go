@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestAblationsList(t *testing.T) {
+	ids := Ablations()
+	if len(ids) != 4 {
+		t.Fatalf("Ablations() = %v", ids)
+	}
+	for _, id := range ids {
+		if _, err := RunAblation(id, Options{Trials: 1, Quick: true}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if _, err := RunAblation("abl-nope", Options{}); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestAblationCoolingShape(t *testing.T) {
+	tables, err := AblationCooling(Options{Trials: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("panels = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		if err := tbl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Series) != 2 {
+			t.Errorf("%s: series = %d", tbl.Title, len(tbl.Series))
+		}
+	}
+	// The threshold trigger must not cost meaningful utility: within 5%
+	// of plain SA at every point.
+	utility := tables[0]
+	for i := range utility.X {
+		ttsa := utility.Series[0].Points[i].Mean
+		plain := utility.Series[1].Points[i].Mean
+		if plain > 0 && ttsa < 0.95*plain {
+			t.Errorf("point %d: threshold cooling %.4f well below plain SA %.4f", i, ttsa, plain)
+		}
+	}
+}
+
+func TestAblationMovesPaperMixCompetitive(t *testing.T) {
+	tables, err := AblationMoves(Options{Trials: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if tbl.Series[0].Scheme != "paper-mix" {
+		t.Fatalf("first series = %q", tbl.Series[0].Scheme)
+	}
+	// The paper's mix must beat the degenerate toggle-only neighbourhood
+	// on every point (it can explore placements, not just membership).
+	var toggle int
+	for i, s := range tbl.Series {
+		if s.Scheme == "toggle-only" {
+			toggle = i
+		}
+	}
+	for i := range tbl.X {
+		if tbl.Series[0].Points[i].Mean < tbl.Series[toggle].Points[i].Mean-1e-9 {
+			t.Errorf("point %d: paper mix %.4f below toggle-only %.4f",
+				i, tbl.Series[0].Points[i].Mean, tbl.Series[toggle].Points[i].Mean)
+		}
+	}
+}
+
+func TestAblationMultiStartShape(t *testing.T) {
+	tables, err := AblationMultiStart(Options{Trials: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Series) != 3 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+}

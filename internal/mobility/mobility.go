@@ -1,0 +1,171 @@
+// Package mobility provides user movement models for the dynamic
+// (multi-epoch) extension of the TSAJS simulator.
+//
+// The paper's evaluation is a static snapshot; a deployed MEC scheduler
+// re-runs as users move. This package implements the standard random
+// waypoint model constrained to the network's coverage area (the union of
+// hexagonal cells), which drives the epoch simulator in internal/dynamic.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// Config parametrizes a random-waypoint walker population.
+type Config struct {
+	// Sites are the base-station positions whose hexagonal cells bound
+	// the walk area.
+	Sites []geom.Point
+	// CellCircumradiusKm is the cell circumradius (inter-site distance /
+	// √3 for a hexagonal lattice).
+	CellCircumradiusKm float64
+	// SpeedKmHMin and SpeedKmHMax bound the per-leg walking speed drawn
+	// uniformly at each new waypoint. Typical pedestrian/vehicular MEC
+	// studies use 1–120 km/h.
+	SpeedKmHMin float64
+	SpeedKmHMax float64
+	// PauseS is the dwell time at each waypoint before the next leg.
+	PauseS float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Sites) == 0:
+		return errors.New("mobility: no sites")
+	case c.CellCircumradiusKm <= 0:
+		return fmt.Errorf("mobility: cell circumradius must be positive, got %g km", c.CellCircumradiusKm)
+	case c.SpeedKmHMin <= 0:
+		return fmt.Errorf("mobility: minimum speed must be positive, got %g km/h", c.SpeedKmHMin)
+	case c.SpeedKmHMax < c.SpeedKmHMin:
+		return fmt.Errorf("mobility: speed range [%g, %g] km/h is inverted", c.SpeedKmHMin, c.SpeedKmHMax)
+	case c.PauseS < 0:
+		return fmt.Errorf("mobility: pause must be non-negative, got %g s", c.PauseS)
+	}
+	return nil
+}
+
+// walker is one user's random-waypoint state.
+type walker struct {
+	pos      geom.Point
+	waypoint geom.Point
+	speedKmS float64 // km per second for the current leg
+	pauseS   float64 // remaining dwell time at the waypoint
+}
+
+// Population is a set of random-waypoint walkers advanced in lockstep.
+// It is not safe for concurrent use.
+type Population struct {
+	cfg     Config
+	walkers []walker
+	rng     *simrand.Source
+}
+
+// New places n walkers uniformly over the coverage area with fresh
+// waypoints. The rng drives placement and all subsequent movement.
+func New(cfg Config, n int, rng *simrand.Source) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: population must be positive, got %d", n)
+	}
+	p := &Population{
+		cfg:     cfg,
+		walkers: make([]walker, n),
+		rng:     rng,
+	}
+	for i := range p.walkers {
+		p.walkers[i] = walker{pos: p.randomPoint()}
+		p.retarget(&p.walkers[i])
+	}
+	return p, nil
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return len(p.walkers) }
+
+// Position returns walker i's current position.
+func (p *Population) Position(i int) geom.Point { return p.walkers[i].pos }
+
+// Positions appends all current positions to buf and returns it.
+func (p *Population) Positions(buf []geom.Point) []geom.Point {
+	for i := range p.walkers {
+		buf = append(buf, p.walkers[i].pos)
+	}
+	return buf
+}
+
+// Step advances every walker by dtS seconds of movement: walk toward the
+// waypoint at the leg speed, dwell on arrival, then pick a new waypoint
+// and speed.
+func (p *Population) Step(dtS float64) error {
+	if dtS <= 0 {
+		return fmt.Errorf("mobility: time step must be positive, got %g s", dtS)
+	}
+	for i := range p.walkers {
+		p.advance(&p.walkers[i], dtS)
+	}
+	return nil
+}
+
+func (p *Population) advance(w *walker, dtS float64) {
+	remaining := dtS
+	for remaining > 0 {
+		if w.pauseS > 0 {
+			dwell := min(w.pauseS, remaining)
+			w.pauseS -= dwell
+			remaining -= dwell
+			if w.pauseS == 0 {
+				p.retarget(w)
+			}
+			continue
+		}
+		dist := w.waypoint.Dist(w.pos)
+		reach := w.speedKmS * remaining
+		if reach < dist {
+			// Partial leg: move toward the waypoint and stop.
+			frac := reach / dist
+			w.pos = w.pos.Add(w.waypoint.Sub(w.pos).Scale(frac))
+			return
+		}
+		// Arrive, consume travel time, start dwelling.
+		if w.speedKmS > 0 {
+			remaining -= dist / w.speedKmS
+		}
+		w.pos = w.waypoint
+		w.pauseS = p.cfg.PauseS
+		if w.pauseS == 0 {
+			p.retarget(w)
+		}
+	}
+}
+
+// retarget draws a fresh waypoint and leg speed.
+func (p *Population) retarget(w *walker) {
+	w.waypoint = p.randomPoint()
+	kmh := p.cfg.SpeedKmHMin + (p.cfg.SpeedKmHMax-p.cfg.SpeedKmHMin)*p.rng.Float64()
+	w.speedKmS = kmh / 3600
+}
+
+// randomPoint samples uniformly over the coverage area: a uniformly random
+// cell, then a uniform point in its hexagon.
+func (p *Population) randomPoint() geom.Point {
+	site := p.cfg.Sites[p.rng.Intn(len(p.cfg.Sites))]
+	return site.Add(geom.RandomInHexagon(p.cfg.CellCircumradiusKm, p.rng.Float64))
+}
+
+// InCoverage reports whether pos lies within any cell of the layout, used
+// by tests as the containment oracle.
+func InCoverage(pos geom.Point, sites []geom.Point, cellCircumradiusKm float64) bool {
+	for _, s := range sites {
+		if geom.InHexagon(pos.Sub(s), cellCircumradiusKm) {
+			return true
+		}
+	}
+	return false
+}

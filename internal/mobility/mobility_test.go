@@ -1,0 +1,241 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// sevenCells returns a complete first-ring layout whose coverage union is
+// convex, so straight walk legs never leave coverage.
+func sevenCells() ([]geom.Point, float64) {
+	return geom.HexLayout(7, 1), geom.HexCircumradius(1)
+}
+
+func validConfig() Config {
+	sites, cellR := sevenCells()
+	return Config{
+		Sites:              sites,
+		CellCircumradiusKm: cellR,
+		SpeedKmHMin:        1,
+		SpeedKmHMax:        5,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "no sites", mutate: func(c *Config) { c.Sites = nil }},
+		{name: "zero cell radius", mutate: func(c *Config) { c.CellCircumradiusKm = 0 }},
+		{name: "zero min speed", mutate: func(c *Config) { c.SpeedKmHMin = 0 }},
+		{name: "inverted speeds", mutate: func(c *Config) { c.SpeedKmHMax = 0.5 }},
+		{name: "negative pause", mutate: func(c *Config) { c.PauseS = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestNewPlacesInsideCoverage(t *testing.T) {
+	cfg := validConfig()
+	pop, err := New(cfg, 100, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 100 {
+		t.Fatalf("Len = %d", pop.Len())
+	}
+	for i := 0; i < pop.Len(); i++ {
+		if !InCoverage(pop.Position(i), cfg.Sites, cfg.CellCircumradiusKm) {
+			t.Errorf("walker %d placed outside coverage at %v", i, pop.Position(i))
+		}
+	}
+}
+
+func TestNewRejectsBadPopulation(t *testing.T) {
+	if _, err := New(validConfig(), 0, simrand.New(1)); err == nil {
+		t.Error("zero population accepted")
+	}
+	bad := validConfig()
+	bad.Sites = nil
+	if _, err := New(bad, 5, simrand.New(1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStepMovesWalkers(t *testing.T) {
+	cfg := validConfig()
+	pop, err := New(cfg, 20, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pop.Positions(nil)
+	if err := pop.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < pop.Len(); i++ {
+		if pop.Position(i) != before[i] {
+			moved++
+		}
+	}
+	if moved < pop.Len()/2 {
+		t.Errorf("only %d/%d walkers moved in 30 s", moved, pop.Len())
+	}
+}
+
+func TestStepRespectsSpeedBound(t *testing.T) {
+	cfg := validConfig()
+	pop, err := New(cfg, 50, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 10.0
+	maxLegKm := cfg.SpeedKmHMax / 3600 * dt
+	for step := 0; step < 50; step++ {
+		before := pop.Positions(nil)
+		if err := pop.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pop.Len(); i++ {
+			// A walker can turn at a waypoint mid-step, so its net
+			// displacement is at most the distance walked.
+			if d := pop.Position(i).Dist(before[i]); d > maxLegKm+1e-9 {
+				t.Fatalf("step %d: walker %d moved %.4f km in %g s (max %.4f)",
+					step, i, d, dt, maxLegKm)
+			}
+		}
+	}
+}
+
+func TestWalkStaysNearCoverage(t *testing.T) {
+	// Waypoints are always inside cells, but the cell union is not
+	// convex, so a straight leg may cut a boundary notch. The walker can
+	// therefore stray from coverage only by a bounded margin: never
+	// farther than one cell circumradius beyond the nearest site's cell.
+	cfg := validConfig()
+	pop, err := New(cfg, 30, simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 2 * cfg.CellCircumradiusKm
+	for step := 0; step < 200; step++ {
+		if err := pop.Step(60); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pop.Len(); i++ {
+			pos := pop.Position(i)
+			if _, d := geom.Nearest(pos, cfg.Sites); d > limit {
+				t.Fatalf("step %d: walker %d strayed %.3f km from the nearest site at %v",
+					step, i, d, pos)
+			}
+		}
+	}
+}
+
+func TestPauseDelaysRetargeting(t *testing.T) {
+	cfg := validConfig()
+	cfg.PauseS = 1e9 // effectively infinite dwell
+	pop, err := New(cfg, 5, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk everyone to their first waypoint (long step), after which they
+	// dwell forever: subsequent steps must not move them.
+	if err := pop.Step(3600 * 10); err != nil {
+		t.Fatal(err)
+	}
+	frozen := pop.Positions(nil)
+	if err := pop.Step(3600); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pop.Len(); i++ {
+		if pop.Position(i) != frozen[i] {
+			t.Errorf("walker %d moved while dwelling", i)
+		}
+	}
+}
+
+func TestStepRejectsNonPositiveDt(t *testing.T) {
+	pop, err := New(validConfig(), 3, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.Step(0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if err := pop.Step(-5); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []geom.Point {
+		pop, err := New(validConfig(), 10, simrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := pop.Step(15); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pop.Positions(nil)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walker %d diverged across identical seeds", i)
+		}
+	}
+}
+
+func TestInCoverage(t *testing.T) {
+	sites, cellR := sevenCells()
+	if !InCoverage(geom.Point{}, sites, cellR) {
+		t.Error("origin not in coverage")
+	}
+	if InCoverage(geom.Point{X: 10}, sites, cellR) {
+		t.Error("distant point in coverage")
+	}
+}
+
+func TestLongHorizonDisplacement(t *testing.T) {
+	// Over a long horizon, walkers should disperse: mean displacement
+	// from the start must be a substantial fraction of the cell size.
+	cfg := validConfig()
+	pop, err := New(cfg, 40, simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := pop.Positions(nil)
+	for i := 0; i < 60; i++ {
+		if err := pop.Step(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0.0
+	for i := 0; i < pop.Len(); i++ {
+		total += pop.Position(i).Dist(start[i])
+	}
+	mean := total / float64(pop.Len())
+	if mean < 0.2 {
+		t.Errorf("mean displacement %.3f km after an hour — walkers barely move", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN displacement")
+	}
+}

@@ -1,0 +1,127 @@
+package objective
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// downlinkScenario draws a default instance with the downlink-return
+// extension active: 50 KB results over a 2 Mb/s downlink.
+func downlinkScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = 8
+	p.NumServers = 3
+	p.NumChannels = 2
+	p.Workload.OutputBits = 50 * 8 * 1024
+	p.DownlinkRateBps = 2e6
+	p.Seed = 31
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestDownlinkDelayAppearsInMetrics(t *testing.T) {
+	sc := downlinkScenario(t)
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := New(sc).Evaluate(a)
+	m := rep.Users[0]
+	wantDown := 50 * 8 * 1024.0 / 2e6
+	if math.Abs(m.DownloadS-wantDown) > 1e-12 {
+		t.Errorf("download delay = %g, want %g", m.DownloadS, wantDown)
+	}
+	if math.Abs(m.DelayS-(m.UploadS+m.ExecuteS+wantDown)) > 1e-12 {
+		t.Errorf("delay %g does not include the downlink term", m.DelayS)
+	}
+	// Local users have no downlink component.
+	if rep.Users[1].DownloadS != 0 {
+		t.Errorf("local user has download delay %g", rep.Users[1].DownloadS)
+	}
+}
+
+func TestDownlinkDecompositionIdentity(t *testing.T) {
+	// The Eq. (24) decomposition must still equal Σ λ_u·J_u with the
+	// downlink penalty folded into the constant term.
+	sc := downlinkScenario(t)
+	e := New(sc)
+	rng := simrand.New(3)
+	for trial := 0; trial < 100; trial++ {
+		a, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < sc.U(); u++ {
+			if rng.Float64() < 0.5 {
+				s := rng.Intn(sc.S())
+				if j := a.FreeChannel(s, rng.Intn(sc.N())); j != assign.Local {
+					if err := a.Offload(u, s, j); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		direct := e.Evaluate(a).SystemUtility
+		decomposed := e.SystemUtility(a)
+		if math.Abs(direct-decomposed) > 1e-9*(1+math.Abs(direct)) {
+			t.Fatalf("trial %d: direct %.12f != decomposed %.12f", trial, direct, decomposed)
+		}
+	}
+}
+
+func TestDownlinkPenalizesOffloading(t *testing.T) {
+	// The same decision is worth strictly less when results must be
+	// hauled back over a slow downlink.
+	base := downlinkScenario(t)
+	slow := downlinkScenario(t)
+	slow.DownlinkRateBps = 1e5 // 100 kb/s: 4 s return delay
+	if err := slow.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := assign.New(base.U(), base.S(), base.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	fast := New(base).SystemUtility(a)
+	worse := New(slow).SystemUtility(a)
+	if worse >= fast {
+		t.Errorf("slow downlink utility %.6f not below fast %.6f", worse, fast)
+	}
+	// And the base (no-downlink) model is the DownlinkRateBps=0 case.
+	off := downlinkScenario(t)
+	off.DownlinkRateBps = 0
+	if err := off.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	noDown := New(off).SystemUtility(a)
+	if noDown <= fast {
+		t.Errorf("ignoring the downlink (%.6f) should beat charging it (%.6f)", noDown, fast)
+	}
+}
+
+func TestDownlinkValidation(t *testing.T) {
+	p := scenario.DefaultParams()
+	p.DownlinkRateBps = -1
+	if _, err := scenario.Build(p); err == nil {
+		t.Error("negative downlink rate accepted")
+	}
+	p = scenario.DefaultParams()
+	p.Workload.OutputBits = -5
+	if _, err := scenario.Build(p); err == nil {
+		t.Error("negative output size accepted")
+	}
+}

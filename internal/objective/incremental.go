@@ -1,0 +1,256 @@
+package objective
+
+import (
+	"math"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+)
+
+// Incremental evaluates single-move neighbours of a tracked decision in
+// time proportional to the *touched* subchannels rather than the whole
+// network. It caches, for the tracked decision:
+//
+//   - the member list and communication cost Γ_j of every subchannel,
+//   - every server's Σ√η (hence Λ in O(1) updates),
+//   - the constant gain term of Eq. (24).
+//
+// A candidate differing in the slots of a few users (every Algorithm 2
+// move touches at most three) re-prices only the subchannels those users
+// left or joined — the expensive part of the objective, since each member
+// costs a log2 — while everything else comes from the cache.
+//
+// Usage: Preview(cand) returns the candidate's utility; Accept(cand)
+// commits the previewed candidate as the new tracked decision. Preview is
+// pure: rejecting a candidate requires no cleanup. The arithmetic is
+// identical to Evaluator.SystemUtility up to floating-point summation
+// order.
+type Incremental struct {
+	sc       *scenario.Scenario
+	txPowers []float64
+
+	cur      *assign.Assignment // private copy of the tracked decision
+	members  [][]slot           // per channel
+	commCost []float64          // per channel: Γ_j
+	sumSqrt  []float64          // per server: Σ√η over its users
+	gain     float64            // Σ gainConst over offloaded users
+	utility  float64
+
+	// pending holds Preview's results for Accept.
+	pending struct {
+		valid    bool
+		utility  float64
+		gain     float64
+		channels []int     // dirty channel ids
+		members  [][]slot  // new member lists, parallel to channels
+		costs    []float64 // new Γ_j, parallel to channels
+		servers  []int     // dirty server ids
+		sums     []float64 // new Σ√η, parallel to servers
+	}
+}
+
+// NewIncremental builds the cache for decision a (copied; the caller's
+// assignment is not retained).
+func NewIncremental(sc *scenario.Scenario, a *assign.Assignment) *Incremental {
+	inc := &Incremental{
+		sc:       sc,
+		txPowers: sc.TxPowers(),
+		cur:      a.Clone(),
+		members:  make([][]slot, sc.N()),
+		commCost: make([]float64, sc.N()),
+		sumSqrt:  make([]float64, sc.S()),
+	}
+	for u := 0; u < sc.U(); u++ {
+		if s, j := a.SlotOf(u); s != assign.Local {
+			inc.members[j] = append(inc.members[j], slot{u: u, s: s})
+			inc.sumSqrt[s] += sc.Derived(u).SqrtEta
+			inc.gain += sc.Derived(u).GainConst
+		}
+	}
+	for j := range inc.members {
+		inc.commCost[j] = inc.channelCost(j, inc.members[j])
+	}
+	inc.utility = inc.gain - inc.totalComm() - inc.totalLambda()
+	return inc
+}
+
+// Utility returns the tracked decision's system utility.
+func (inc *Incremental) Utility() float64 { return inc.utility }
+
+// Preview returns the system utility of cand, which must differ from the
+// tracked decision only in the slots of a bounded set of users (any
+// sequence of Algorithm 2 moves applied to a copy of the tracked decision
+// qualifies). The tracked decision is unchanged.
+func (inc *Incremental) Preview(cand *assign.Assignment) float64 {
+	p := &inc.pending
+	p.valid = false
+	p.channels = p.channels[:0]
+	p.members = p.members[:0]
+	p.costs = p.costs[:0]
+	p.servers = p.servers[:0]
+	p.sums = p.sums[:0]
+	p.gain = inc.gain
+
+	// Diff the decisions user by user (O(U), two array reads each).
+	dirtyCh := 0 // bitmask for N <= 64, else fallback slice search
+	var dirtyChBig map[int]bool
+	if inc.sc.N() > 64 {
+		dirtyChBig = make(map[int]bool)
+	}
+	markCh := func(j int) {
+		if dirtyChBig != nil {
+			dirtyChBig[j] = true
+		} else {
+			dirtyCh |= 1 << uint(j)
+		}
+	}
+	deltaSum := inc.ensureSumDelta()
+	changed := false
+	for u := 0; u < inc.sc.U(); u++ {
+		oldS, oldJ := inc.cur.SlotOf(u)
+		newS, newJ := cand.SlotOf(u)
+		if oldS == newS && oldJ == newJ {
+			continue
+		}
+		changed = true
+		d := inc.sc.Derived(u)
+		if oldS != assign.Local {
+			markCh(oldJ)
+			deltaSum[oldS] -= d.SqrtEta
+			p.gain -= d.GainConst
+		}
+		if newS != assign.Local {
+			markCh(newJ)
+			deltaSum[newS] += d.SqrtEta
+			p.gain += d.GainConst
+		}
+	}
+	if !changed {
+		p.valid = true
+		p.utility = inc.utility
+		return inc.utility
+	}
+
+	// Re-price dirty channels from the candidate's membership.
+	comm := inc.totalComm()
+	collect := func(j int) {
+		newMembers := inc.rebuildChannel(cand, j)
+		cost := inc.channelCost(j, newMembers)
+		comm += cost - inc.commCost[j]
+		p.channels = append(p.channels, j)
+		p.members = append(p.members, newMembers)
+		p.costs = append(p.costs, cost)
+	}
+	if dirtyChBig != nil {
+		for j := range dirtyChBig {
+			collect(j)
+		}
+	} else {
+		for j := 0; dirtyCh != 0; j, dirtyCh = j+1, dirtyCh>>1 {
+			if dirtyCh&1 != 0 {
+				collect(j)
+			}
+		}
+	}
+
+	// Update Λ for dirty servers in O(dirty).
+	lambda := inc.totalLambda()
+	for s, ds := range deltaSum {
+		if ds == 0 {
+			continue
+		}
+		oldSum := inc.sumSqrt[s]
+		newSum := oldSum + ds
+		if newSum < 0 {
+			newSum = 0 // guard accumulated rounding on an emptied server
+		}
+		fs := inc.sc.Servers[s].FHz
+		lambda += (newSum*newSum - oldSum*oldSum) / fs
+		p.servers = append(p.servers, s)
+		p.sums = append(p.sums, newSum)
+	}
+
+	p.valid = true
+	p.utility = p.gain - comm - lambda
+	return p.utility
+}
+
+// Accept commits the most recently previewed candidate as the tracked
+// decision. cand must be the assignment passed to that Preview call.
+func (inc *Incremental) Accept(cand *assign.Assignment) {
+	p := &inc.pending
+	if !p.valid {
+		// No valid preview: rebuild from scratch (correct, just slower).
+		*inc = *NewIncremental(inc.sc, cand)
+		return
+	}
+	for i, j := range p.channels {
+		inc.members[j] = p.members[i]
+		inc.commCost[j] = p.costs[i]
+	}
+	for i, s := range p.servers {
+		inc.sumSqrt[s] = p.sums[i]
+	}
+	inc.gain = p.gain
+	inc.utility = p.utility
+	if err := inc.cur.CopyFrom(cand); err != nil {
+		// Dimension mismatch means API misuse; rebuild defensively.
+		*inc = *NewIncremental(inc.sc, cand)
+	}
+	p.valid = false
+}
+
+// rebuildChannel lists channel j's members under cand, reusing scratch.
+func (inc *Incremental) rebuildChannel(cand *assign.Assignment, j int) []slot {
+	out := make([]slot, 0, len(inc.members[j])+2)
+	for s := 0; s < cand.Servers(); s++ {
+		if u := cand.Occupant(s, j); u != assign.Local {
+			out = append(out, slot{u: u, s: s})
+		}
+	}
+	return out
+}
+
+// channelCost prices subchannel j: Σ (φ_u + ψ_u p_u)/log2(1+γ_us) over
+// its members, with γ per Eq. (3).
+func (inc *Incremental) channelCost(j int, group []slot) float64 {
+	cost := 0.0
+	for _, g := range group {
+		interference := 0.0
+		for _, o := range group {
+			if o.u == g.u || o.s == g.s {
+				continue
+			}
+			interference += inc.txPowers[o.u] * inc.sc.Gain[o.u][g.s][j]
+		}
+		sinr := inc.txPowers[g.u] * inc.sc.Gain[g.u][g.s][j] / (interference + inc.sc.NoiseW)
+		d := inc.sc.Derived(g.u)
+		cost += (d.Phi + d.Psi*inc.txPowers[g.u]) / math.Log2(1+sinr)
+	}
+	return cost
+}
+
+func (inc *Incremental) totalComm() float64 {
+	total := 0.0
+	for _, c := range inc.commCost {
+		total += c
+	}
+	return total
+}
+
+func (inc *Incremental) totalLambda() float64 {
+	total := 0.0
+	for s, sum := range inc.sumSqrt {
+		if sum > 0 {
+			total += sum * sum / inc.sc.Servers[s].FHz
+		}
+	}
+	return total
+}
+
+// ensureSumDelta returns a zeroed per-server delta buffer.
+func (inc *Incremental) ensureSumDelta() []float64 {
+	// Allocated fresh each Preview: S is small and the map-free path
+	// keeps the hot loop simple.
+	return make([]float64, inc.sc.S())
+}

@@ -1,0 +1,208 @@
+// Package objective evaluates the JTORA objective for a fixed offloading
+// decision: the communication cost Γ(X), the optimal computation cost
+// Λ(X, F*) via the KKT allocation, the system utility J*(X) of Eq. (24),
+// and the per-user delay/energy/utility breakdown of Eqs. (8)–(10).
+package objective
+
+import (
+	"math"
+
+	"github.com/tsajs/tsajs/internal/alloc"
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/radio"
+	"github.com/tsajs/tsajs/internal/scenario"
+)
+
+// Evaluator computes objective values for one scenario. It holds scratch
+// buffers, so a single Evaluator must not be used from multiple goroutines
+// concurrently; create one per goroutine (New is cheap).
+type Evaluator struct {
+	sc       *scenario.Scenario
+	txPowers []float64
+
+	// byChannel[j] lists the (user, server) pairs transmitting on
+	// subchannel j; rebuilt on every evaluation.
+	byChannel [][]slot
+}
+
+type slot struct{ u, s int }
+
+// New returns an evaluator for sc. The scenario must be finalized.
+func New(sc *scenario.Scenario) *Evaluator {
+	e := &Evaluator{
+		sc:        sc,
+		txPowers:  sc.TxPowers(),
+		byChannel: make([][]slot, sc.N()),
+	}
+	for j := range e.byChannel {
+		e.byChannel[j] = make([]slot, 0, sc.S())
+	}
+	return e
+}
+
+// Scenario returns the scenario this evaluator is bound to.
+func (e *Evaluator) Scenario() *scenario.Scenario { return e.sc }
+
+// SystemUtility computes J*(X) of Eq. (24):
+//
+//	J*(X) = Σ_{u∈U_off} λ_u(β_u^t + β_u^e) − Γ(X) − Λ(X, F*),
+//
+// with the KKT-optimal resource allocation folded in via Eq. (23).
+func (e *Evaluator) SystemUtility(a *assign.Assignment) float64 {
+	gain, gamma := e.gainAndComm(a)
+	return gain - gamma - alloc.Lambda(e.sc, a)
+}
+
+// CommCost computes Γ(X) = Σ_s Σ_{u∈U_s} (φ_u + ψ_u·p_u)/log2(1+γ_us),
+// the first term of Eq. (19).
+func (e *Evaluator) CommCost(a *assign.Assignment) float64 {
+	_, gamma := e.gainAndComm(a)
+	return gamma
+}
+
+// gainAndComm walks the offloaded users once, returning the constant gain
+// term Σ λ_u(β^t+β^e) and the communication cost Γ(X).
+func (e *Evaluator) gainAndComm(a *assign.Assignment) (gain, comm float64) {
+	e.groupByChannel(a)
+	for j, group := range e.byChannel {
+		for _, g := range group {
+			d := e.sc.Derived(g.u)
+			gain += d.GainConst
+			sinr := e.sinrInGroup(g, j, group)
+			comm += (d.Phi + d.Psi*e.txPowers[g.u]) / math.Log2(1+sinr)
+		}
+	}
+	return gain, comm
+}
+
+// SINR returns γ_us for user u on its assigned slot under decision a, or 0
+// if u is local. This is the aggregate SINR of Eq. (4); since each user
+// occupies exactly one subchannel it equals the single-channel SINR of
+// Eq. (3).
+func (e *Evaluator) SINR(a *assign.Assignment, u int) float64 {
+	s, j := a.SlotOf(u)
+	if s == assign.Local {
+		return 0
+	}
+	e.groupByChannel(a)
+	return e.sinrInGroup(slot{u: u, s: s}, j, e.byChannel[j])
+}
+
+// sinrInGroup computes Eq. (3) for one transmitter given the co-channel
+// group on subchannel j.
+func (e *Evaluator) sinrInGroup(g slot, j int, group []slot) float64 {
+	interference := 0.0
+	for _, o := range group {
+		if o.u == g.u || o.s == g.s {
+			// Same user, or a user served by the same base station:
+			// intra-cell users are on orthogonal subchannels by
+			// constraint (12d), so only other-cell users interfere.
+			continue
+		}
+		interference += e.txPowers[o.u] * e.sc.Gain[o.u][g.s][j]
+	}
+	return e.txPowers[g.u] * e.sc.Gain[g.u][g.s][j] / (interference + e.sc.NoiseW)
+}
+
+func (e *Evaluator) groupByChannel(a *assign.Assignment) {
+	for j := range e.byChannel {
+		e.byChannel[j] = e.byChannel[j][:0]
+	}
+	// Iterate users rather than the S×N slot matrix: evaluation cost then
+	// scales with the offloaded population, not the network size — the
+	// difference dominates at the Fig. 7/8 subchannel counts.
+	for u := 0; u < a.Users(); u++ {
+		if s, j := a.SlotOf(u); s != assign.Local {
+			e.byChannel[j] = append(e.byChannel[j], slot{u: u, s: s})
+		}
+	}
+}
+
+// UserMetrics is the full per-user outcome under a decision and the KKT
+// allocation.
+type UserMetrics struct {
+	// Offloaded reports whether the user offloads; when false the rate,
+	// SINR and FUsHz fields are zero and the delay/energy are local.
+	Offloaded bool `json:"offloaded"`
+	// Server and Channel identify the slot (-1 when local).
+	Server  int `json:"server"`
+	Channel int `json:"channel"`
+	// SINR is γ_us (linear); RateBps is R_us of Eq. (4).
+	SINR    float64 `json:"sinr"`
+	RateBps float64 `json:"rateBps"`
+	// FUsHz is the KKT-allocated computation rate f*_us.
+	FUsHz float64 `json:"fUsHz"`
+	// UploadS, ExecuteS, DownloadS and DelayS decompose the offloading
+	// delay (Eq. 8 plus the optional downlink-return extension); for a
+	// local user DelayS is t_u^local and the others are zero.
+	UploadS   float64 `json:"uploadS"`
+	ExecuteS  float64 `json:"executeS"`
+	DownloadS float64 `json:"downloadS,omitempty"`
+	DelayS    float64 `json:"delayS"`
+	// EnergyJ is E_u (Eq. 9) when offloading, E_u^local otherwise.
+	EnergyJ float64 `json:"energyJ"`
+	// Utility is J_u of Eq. (10); zero for local users.
+	Utility float64 `json:"utility"`
+}
+
+// Report is the complete evaluation of one decision.
+type Report struct {
+	// SystemUtility is J(X, F*) = Σ λ_u·J_u, which equals J*(X).
+	SystemUtility float64 `json:"systemUtility"`
+	// Offloaded is |U_offload|.
+	Offloaded int `json:"offloaded"`
+	// MeanDelayS and MeanEnergyJ average completion time and energy over
+	// all users (local users contribute their local cost), the metrics
+	// plotted in Fig. 9.
+	MeanDelayS  float64 `json:"meanDelayS"`
+	MeanEnergyJ float64 `json:"meanEnergyJ"`
+	// Users is the per-user breakdown.
+	Users []UserMetrics `json:"users"`
+	// Allocation is the KKT allocation F*.
+	Allocation alloc.Allocation `json:"allocation"`
+}
+
+// Evaluate produces the full report for decision a.
+func (e *Evaluator) Evaluate(a *assign.Assignment) Report {
+	f, _ := alloc.KKT(e.sc, a)
+	rep := Report{
+		Offloaded:  a.Offloaded(),
+		Users:      make([]UserMetrics, e.sc.U()),
+		Allocation: f,
+	}
+	e.groupByChannel(a)
+	w := e.sc.SubchannelHz()
+	sumDelay, sumEnergy, sumWeighted := 0.0, 0.0, 0.0
+	for u := 0; u < e.sc.U(); u++ {
+		d := e.sc.Derived(u)
+		usr := e.sc.Users[u]
+		m := UserMetrics{Server: assign.Local, Channel: assign.Local}
+		s, j := a.SlotOf(u)
+		if s == assign.Local {
+			m.DelayS = d.TLocalS
+			m.EnergyJ = d.ELocalJ
+		} else {
+			m.Offloaded = true
+			m.Server, m.Channel = s, j
+			m.SINR = e.sinrInGroup(slot{u: u, s: s}, j, e.byChannel[j])
+			m.RateBps = radio.Rate(w, m.SINR)
+			m.FUsHz = f.FUs[u]
+			m.UploadS = usr.Task.DataBits / m.RateBps
+			m.ExecuteS = usr.Task.WorkCycles / m.FUsHz
+			m.DownloadS = d.TDownS
+			m.DelayS = m.UploadS + m.ExecuteS + m.DownloadS
+			m.EnergyJ = usr.TxPowerW * m.UploadS
+			m.Utility = usr.BetaTime*(d.TLocalS-m.DelayS)/d.TLocalS +
+				usr.BetaEnergy*(d.ELocalJ-m.EnergyJ)/d.ELocalJ
+		}
+		rep.Users[u] = m
+		sumDelay += m.DelayS
+		sumEnergy += m.EnergyJ
+		sumWeighted += usr.Lambda * m.Utility
+	}
+	n := float64(e.sc.U())
+	rep.MeanDelayS = sumDelay / n
+	rep.MeanEnergyJ = sumEnergy / n
+	rep.SystemUtility = sumWeighted
+	return rep
+}

@@ -1,0 +1,305 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/radio"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// handScenario builds a tiny two-user, two-server, one-channel scenario
+// with hand-picked gains so every quantity can be verified on paper.
+func handScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	user := func(x float64) scenario.User {
+		return scenario.User{
+			Pos:        geom.Point{X: x},
+			Task:       task.Task{DataBits: 1e6, WorkCycles: 2e9},
+			FLocalHz:   1e9,
+			TxPowerW:   0.01,
+			Kappa:      5e-27,
+			BetaTime:   0.5,
+			BetaEnergy: 0.5,
+			Lambda:     1,
+		}
+	}
+	sc := &scenario.Scenario{
+		Users:   []scenario.User{user(0.1), user(0.9)},
+		Servers: []scenario.Server{{FHz: 20e9}, {Pos: geom.Point{X: 1}, FHz: 20e9}},
+		Gain: radio.GainTensor{
+			{{1e-10}, {1e-12}}, // user 0: strong to server 0
+			{{1e-12}, {1e-10}}, // user 1: strong to server 1
+		},
+		Model:       radio.DefaultPathLoss(),
+		NumChannels: 1,
+		BandwidthHz: 10e6,
+		NoiseW:      1e-13,
+	}
+	if err := sc.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestSystemUtilityAllLocalIsZero(t *testing.T) {
+	sc := handScenario(t)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := New(sc).SystemUtility(a); got != 0 {
+		t.Errorf("all-local utility = %g, want 0", got)
+	}
+}
+
+func TestSystemUtilityHandComputed(t *testing.T) {
+	sc := handScenario(t)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only user 0 offloads, to its strong server: no interference.
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	e := New(sc)
+
+	// Hand computation.
+	// SINR = p*h/noise = 0.01*1e-10/1e-13 = 10.
+	// W = 10 MHz / 1 = 1e7; rate = 1e7*log2(11).
+	// tLocal = 2 s; eLocal = 5e-27*1e18*2e9 = 10 J.
+	// tUp = 1e6/rate; tExec = 2e9/20e9 = 0.1 s.
+	// E = 0.01*tUp.
+	// J_u = 0.5*(2-t)/2 + 0.5*(10-E)/10.
+	rate := 1e7 * math.Log2(11)
+	tUp := 1e6 / rate
+	tu := tUp + 0.1
+	eu := 0.01 * tUp
+	want := 0.5*(2-tu)/2 + 0.5*(10-eu)/10
+
+	if got := e.SystemUtility(a); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SystemUtility = %.9f, want %.9f", got, want)
+	}
+	// The Eq. (24) decomposition must agree with the J = Σ λ J_u form
+	// computed by Evaluate.
+	rep := e.Evaluate(a)
+	if math.Abs(rep.SystemUtility-want) > 1e-9 {
+		t.Errorf("Evaluate utility = %.9f, want %.9f", rep.SystemUtility, want)
+	}
+	m := rep.Users[0]
+	if math.Abs(m.SINR-10) > 1e-9 {
+		t.Errorf("SINR = %g, want 10", m.SINR)
+	}
+	if math.Abs(m.RateBps-rate) > 1e-3 {
+		t.Errorf("rate = %g, want %g", m.RateBps, rate)
+	}
+	if math.Abs(m.DelayS-tu) > 1e-12 {
+		t.Errorf("delay = %g, want %g", m.DelayS, tu)
+	}
+	if math.Abs(m.EnergyJ-eu) > 1e-12 {
+		t.Errorf("energy = %g, want %g", m.EnergyJ, eu)
+	}
+	if math.Abs(m.FUsHz-20e9) > 1e-3 {
+		t.Errorf("f_us = %g, want full 20 GHz", m.FUsHz)
+	}
+}
+
+func TestInterferenceCouplesUsers(t *testing.T) {
+	sc := handScenario(t)
+	e := New(sc)
+
+	solo, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solo.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	soloSINR := e.SINR(solo, 0)
+
+	both := solo.Clone()
+	if err := both.Offload(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	bothSINR := e.SINR(both, 0)
+
+	if bothSINR >= soloSINR {
+		t.Errorf("co-channel interferer did not reduce SINR: %g >= %g", bothSINR, soloSINR)
+	}
+	// Hand check: interference = p1*h[1][0][0] = 0.01*1e-12 = 1e-14.
+	want := 0.01 * 1e-10 / (1e-14 + 1e-13)
+	if math.Abs(bothSINR-want) > 1e-9*want {
+		t.Errorf("interfered SINR = %g, want %g", bothSINR, want)
+	}
+}
+
+func TestIntraCellUsersDoNotInterfere(t *testing.T) {
+	// Two users on the same server are on different subchannels by
+	// construction; a user on the same subchannel at the same server is
+	// impossible, so the only same-channel case is other-cell users.
+	p := scenario.DefaultParams()
+	p.NumUsers = 4
+	p.NumServers = 2
+	p.NumChannels = 2
+	p.Seed = 3
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sc)
+	a, err := assign.New(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 alone on (0,0).
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	alone := e.SINR(a, 0)
+	// Add user 1 on the same server, other channel: no change to user 0.
+	if err := a.Offload(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SINR(a, 0); math.Abs(got-alone) > 1e-12*alone {
+		t.Errorf("intra-cell user changed SINR: %g vs %g", got, alone)
+	}
+	// Add user 2 at the other server on channel 0: SINR must drop.
+	if err := a.Offload(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SINR(a, 0); got >= alone {
+		t.Errorf("other-cell co-channel user did not reduce SINR: %g >= %g", got, alone)
+	}
+}
+
+func TestSINRLocalUserIsZero(t *testing.T) {
+	sc := handScenario(t)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := New(sc).SINR(a, 0); got != 0 {
+		t.Errorf("SINR of local user = %g", got)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	sc := handScenario(t)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := New(sc).Evaluate(a)
+	if rep.Offloaded != 1 {
+		t.Errorf("offloaded = %d", rep.Offloaded)
+	}
+	// Mean delay = (t_0 + tLocal_1)/2; user 1 local at 2 s.
+	wantDelay := (rep.Users[0].DelayS + 2) / 2
+	if math.Abs(rep.MeanDelayS-wantDelay) > 1e-12 {
+		t.Errorf("mean delay = %g, want %g", rep.MeanDelayS, wantDelay)
+	}
+	wantEnergy := (rep.Users[0].EnergyJ + 10) / 2
+	if math.Abs(rep.MeanEnergyJ-wantEnergy) > 1e-12 {
+		t.Errorf("mean energy = %g, want %g", rep.MeanEnergyJ, wantEnergy)
+	}
+	// Local user's metrics are the local cost.
+	m := rep.Users[1]
+	if m.Offloaded || m.Server != assign.Local || m.DelayS != 2 || m.EnergyJ != 10 || m.Utility != 0 {
+		t.Errorf("local user metrics = %+v", m)
+	}
+	if len(rep.Allocation.FUs) != 2 {
+		t.Errorf("allocation length %d", len(rep.Allocation.FUs))
+	}
+}
+
+// TestDecompositionConsistencyProperty is the paper's core algebraic
+// identity: Eq. (24) (gain − Γ − Λ with closed-form KKT) must equal the
+// direct weighted sum Σ λ_u·J_u of Eq. (11) for every feasible decision.
+func TestDecompositionConsistencyProperty(t *testing.T) {
+	p := scenario.DefaultParams()
+	p.NumUsers = 10
+	p.NumServers = 4
+	p.NumChannels = 2
+	p.Seed = 21
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sc)
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		a, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			return false
+		}
+		for u := 0; u < sc.U(); u++ {
+			if rng.Float64() < 0.5 {
+				s := rng.Intn(sc.S())
+				if j := a.FreeChannel(s, rng.Intn(sc.N())); j != assign.Local {
+					if err := a.Offload(u, s, j); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		direct := e.Evaluate(a).SystemUtility
+		decomposed := e.SystemUtility(a)
+		return math.Abs(direct-decomposed) <= 1e-9*(1+math.Abs(direct))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommCost(t *testing.T) {
+	sc := handScenario(t)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sc)
+	if got := e.CommCost(a); got != 0 {
+		t.Errorf("comm cost of all-local = %g", got)
+	}
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := sc.Derived(0)
+	want := (d.Phi + d.Psi*0.01) / math.Log2(11)
+	if got := e.CommCost(a); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("comm cost = %g, want %g", got, want)
+	}
+}
+
+func TestEvaluatorReuseIsConsistent(t *testing.T) {
+	// The evaluator's scratch buffers must not leak state between calls
+	// with different assignments.
+	sc := handScenario(t)
+	e := New(sc)
+	a, err := assign.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := e.SystemUtility(a)
+	if err := a.Offload(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	one := e.SystemUtility(a)
+	a.SetLocal(0)
+	emptyAgain := e.SystemUtility(a)
+	if empty != emptyAgain {
+		t.Errorf("evaluator state leaked: %g vs %g", empty, emptyAgain)
+	}
+	if one == empty {
+		t.Error("offloading had no effect on utility")
+	}
+}

@@ -1,0 +1,177 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func randomScenario(t testing.TB, seed uint64) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = 8
+	p.NumServers = 3
+	p.NumChannels = 2
+	p.Workload.WorkCycles = 2500e6
+	p.Seed = seed
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func randomAssignment(sc *scenario.Scenario, rng *simrand.Source) (*assign.Assignment, error) {
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < sc.U(); u++ {
+		if rng.Float64() < 0.5 {
+			s := rng.Intn(sc.S())
+			if j := a.FreeChannel(s, rng.Intn(sc.N())); j != assign.Local {
+				if err := a.Offload(u, s, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// TestUtilityUpperBoundProperty: system utility can never exceed
+// Σ λ_u(β^t+β^e) over offloaded users — offloading costs are non-negative.
+func TestUtilityUpperBoundProperty(t *testing.T) {
+	sc := randomScenario(t, 41)
+	e := New(sc)
+	prop := func(seed uint64) bool {
+		a, err := randomAssignment(sc, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		bound := 0.0
+		for u := 0; u < sc.U(); u++ {
+			if !a.IsLocal(u) {
+				bound += sc.Derived(u).GainConst
+			}
+		}
+		return e.SystemUtility(a) <= bound+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterferenceMonotonicityProperty: offloading one more user never
+// raises any existing user's SINR.
+func TestInterferenceMonotonicityProperty(t *testing.T) {
+	sc := randomScenario(t, 43)
+	e := New(sc)
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		a, err := randomAssignment(sc, rng)
+		if err != nil {
+			return false
+		}
+		before := make([]float64, sc.U())
+		for u := 0; u < sc.U(); u++ {
+			before[u] = e.SINR(a, u)
+		}
+		// Find a local user and a free slot.
+		newcomer := -1
+		for u := 0; u < sc.U(); u++ {
+			if a.IsLocal(u) {
+				newcomer = u
+				break
+			}
+		}
+		if newcomer == -1 {
+			return true
+		}
+		placed := false
+		for s := 0; s < sc.S() && !placed; s++ {
+			if j := a.FreeChannel(s, 0); j != assign.Local {
+				if err := a.Offload(newcomer, s, j); err != nil {
+					return false
+				}
+				placed = true
+			}
+		}
+		if !placed {
+			return true
+		}
+		for u := 0; u < sc.U(); u++ {
+			if u == newcomer {
+				continue
+			}
+			if e.SINR(a, u) > before[u]+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReportUtilityConsistencyProperty: the report's per-user utilities,
+// weighted by λ, always reconstruct the system utility.
+func TestReportUtilityConsistencyProperty(t *testing.T) {
+	sc := randomScenario(t, 47)
+	// Heterogeneous lambdas make the weighting non-trivial.
+	for i := range sc.Users {
+		sc.Users[i].Lambda = 0.2 + 0.1*float64(i%8)
+	}
+	if err := sc.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := New(sc)
+	prop := func(seed uint64) bool {
+		a, err := randomAssignment(sc, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		rep := e.Evaluate(a)
+		sum := 0.0
+		for u, m := range rep.Users {
+			sum += sc.Users[u].Lambda * m.Utility
+		}
+		return math.Abs(sum-rep.SystemUtility) <= 1e-9*(1+math.Abs(sum)) &&
+			math.Abs(rep.SystemUtility-e.SystemUtility(a)) <= 1e-9*(1+math.Abs(sum))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocalUsersUnaffectedProperty: a local user's delay and energy never
+// depend on anyone else's decision.
+func TestLocalUsersUnaffectedProperty(t *testing.T) {
+	sc := randomScenario(t, 53)
+	e := New(sc)
+	prop := func(seed uint64) bool {
+		a, err := randomAssignment(sc, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		rep := e.Evaluate(a)
+		for u, m := range rep.Users {
+			if !a.IsLocal(u) {
+				continue
+			}
+			d := sc.Derived(u)
+			if m.DelayS != d.TLocalS || m.EnergyJ != d.ELocalJ || m.Utility != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

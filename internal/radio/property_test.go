@@ -1,0 +1,116 @@
+package radio
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// TestSINRMonotoneInInterferenceProperty: adding interferers can only
+// lower SINR, one at a time, for arbitrary channel realizations.
+func TestSINRMonotoneInInterferenceProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		users := []geom.Point{{X: 0.1}, {X: 0.4}, {X: 0.8}, {X: 1.3}, {X: 0.6, Y: 0.5}}
+		sites := []geom.Point{{}, {X: 1}}
+		h, err := NewGainTensor(DefaultPathLoss(), users, sites, 2, rng)
+		if err != nil {
+			return false
+		}
+		tx := []float64{0.01, 0.01, 0.01, 0.01, 0.01}
+		prev := h.SINR(0, 0, 0, tx, nil, 1e-13)
+		interferers := []int{}
+		for _, k := range []int{1, 2, 3, 4} {
+			interferers = append(interferers, k)
+			cur := h.SINR(0, 0, 0, tx, interferers, 1e-13)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRateMonotoneProperty: the Shannon rate is increasing in SINR and
+// linear in bandwidth.
+func TestRateMonotoneProperty(t *testing.T) {
+	prop := func(rawSINR, rawW float64) bool {
+		sinr := math.Abs(math.Mod(rawSINR, 1e6))
+		w := 1e3 + math.Abs(math.Mod(rawW, 1e8))
+		r1 := Rate(w, sinr)
+		r2 := Rate(w, sinr+1)
+		if r2 <= r1 {
+			return false
+		}
+		// Doubling bandwidth doubles rate.
+		return math.Abs(Rate(2*w, sinr)-2*r1) <= 1e-9*(1+2*r1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGainDistanceOrderProperty: for a flat (no-shadowing) model, farther
+// users always have lower gain.
+func TestGainDistanceOrderProperty(t *testing.T) {
+	m := DefaultPathLoss()
+	m.ShadowStdDB = 0
+	m.FreqSelStdDB = 0
+	prop := func(rawA, rawB float64) bool {
+		a := m.MinDistanceKm + math.Abs(math.Mod(rawA, 50))
+		b := m.MinDistanceKm + math.Abs(math.Mod(rawB, 50))
+		ga, gb := m.MeanGain(a), m.MeanGain(b)
+		switch {
+		case a < b:
+			return ga >= gb
+		case a > b:
+			return ga <= gb
+		default:
+			return ga == gb
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTensorStatisticsMatchModel: over many users at the same distance,
+// the median gain approaches the deterministic path-loss gain (shadowing
+// is zero-median in dB).
+func TestTensorStatisticsMatchModel(t *testing.T) {
+	m := DefaultPathLoss()
+	m.FreqSelStdDB = 0
+	const n = 4001
+	users := make([]geom.Point, n)
+	for i := range users {
+		users[i] = geom.Point{X: 0.5}
+	}
+	h, err := NewGainTensor(m, users, []geom.Point{{}}, 1, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains := make([]float64, n)
+	for i := range gains {
+		gains[i] = h[i][0][0]
+	}
+	// Median in dB should match the path-loss prediction within ~0.5 dB.
+	medianDB := 10 * math.Log10(median(gains))
+	wantDB := -m.PathLossDB(0.5)
+	if math.Abs(medianDB-wantDB) > 0.5 {
+		t.Errorf("median gain %.2f dB, want %.2f dB", medianDB, wantDB)
+	}
+}
+
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}

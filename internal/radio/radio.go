@@ -1,0 +1,180 @@
+// Package radio implements the wireless substrate of the TSAJS simulator:
+// the distance-dependent path-loss model, lognormal shadowing, the
+// channel-gain tensor h_us^j, and the uplink SINR and achievable-rate
+// computations of Eqs. (3) and (4) of the paper.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/units"
+)
+
+// PathLossModel is the large-scale attenuation model. The paper uses
+// L[dB] = 140.7 + 36.7·log10(d[km]) with 8 dB lognormal shadowing.
+type PathLossModel struct {
+	// InterceptDB is the path loss at 1 km (140.7 dB in the paper).
+	InterceptDB float64 `json:"interceptDB"`
+	// SlopeDB is the per-decade distance slope (36.7 dB in the paper).
+	SlopeDB float64 `json:"slopeDB"`
+	// ShadowStdDB is the lognormal shadowing standard deviation (8 dB).
+	ShadowStdDB float64 `json:"shadowStdDB"`
+	// FreqSelStdDB is the standard deviation of an additional independent
+	// per-subchannel lognormal term. The paper indexes gains per
+	// subchannel (h_us^j); this term is what makes those indices differ.
+	// Set to 0 for frequency-flat gains.
+	FreqSelStdDB float64 `json:"freqSelStdDB"`
+	// MinDistanceKm clamps the distance used in the path-loss formula so
+	// a user standing on top of a base station does not get unbounded
+	// gain. 10 m is the conventional close-in reference.
+	MinDistanceKm float64 `json:"minDistanceKm"`
+}
+
+// DefaultPathLoss returns the paper's evaluation model.
+func DefaultPathLoss() PathLossModel {
+	return PathLossModel{
+		InterceptDB:   140.7,
+		SlopeDB:       36.7,
+		ShadowStdDB:   8,
+		FreqSelStdDB:  4,
+		MinDistanceKm: 0.01,
+	}
+}
+
+// Validate checks the model parameters.
+func (m PathLossModel) Validate() error {
+	if m.SlopeDB <= 0 {
+		return fmt.Errorf("radio: path-loss slope must be positive, got %g dB/decade", m.SlopeDB)
+	}
+	if m.ShadowStdDB < 0 {
+		return fmt.Errorf("radio: shadowing std must be non-negative, got %g dB", m.ShadowStdDB)
+	}
+	if m.FreqSelStdDB < 0 {
+		return fmt.Errorf("radio: frequency-selectivity std must be non-negative, got %g dB", m.FreqSelStdDB)
+	}
+	if m.MinDistanceKm <= 0 {
+		return fmt.Errorf("radio: minimum distance must be positive, got %g km", m.MinDistanceKm)
+	}
+	return nil
+}
+
+// PathLossDB returns the deterministic path loss in dB at distance dKm.
+func (m PathLossModel) PathLossDB(dKm float64) float64 {
+	if dKm < m.MinDistanceKm {
+		dKm = m.MinDistanceKm
+	}
+	return m.InterceptDB + m.SlopeDB*math.Log10(dKm)
+}
+
+// MeanGain returns the linear channel gain at distance dKm without
+// shadowing or frequency selectivity.
+func (m PathLossModel) MeanGain(dKm float64) float64 {
+	return units.DBToLinear(-m.PathLossDB(dKm))
+}
+
+// GainTensor is the channel-gain tensor h[u][s][j]: the linear power gain
+// from user u to base station s on subchannel j.
+type GainTensor [][][]float64
+
+// NewGainTensor draws a gain tensor for the given user and site positions
+// and subchannel count. Shadowing is drawn once per (user, site) pair
+// (long-term association timescale, fast fading averaged out, per the
+// paper's Section III-A2) and the optional frequency-selective term once
+// per (user, site, subchannel).
+func NewGainTensor(m PathLossModel, users, sites []geom.Point, numChannels int, rng *simrand.Source) (GainTensor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if numChannels <= 0 {
+		return nil, fmt.Errorf("radio: subchannel count must be positive, got %d", numChannels)
+	}
+	if len(sites) == 0 {
+		return nil, errors.New("radio: no base station sites")
+	}
+	h := make(GainTensor, len(users))
+	for u, up := range users {
+		h[u] = make([][]float64, len(sites))
+		for s, sp := range sites {
+			base := m.MeanGain(up.Dist(sp)) * rng.LogNormalDB(m.ShadowStdDB)
+			h[u][s] = make([]float64, numChannels)
+			for j := 0; j < numChannels; j++ {
+				h[u][s][j] = base * rng.LogNormalDB(m.FreqSelStdDB)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Validate checks the tensor for shape consistency and physical gains.
+func (h GainTensor) Validate() error {
+	if len(h) == 0 {
+		return errors.New("radio: empty gain tensor")
+	}
+	numSites, numCh := -1, -1
+	for u := range h {
+		if numSites == -1 {
+			numSites = len(h[u])
+		}
+		if len(h[u]) != numSites || numSites == 0 {
+			return fmt.Errorf("radio: user %d has %d site rows, want %d", u, len(h[u]), numSites)
+		}
+		for s := range h[u] {
+			if numCh == -1 {
+				numCh = len(h[u][s])
+			}
+			if len(h[u][s]) != numCh || numCh == 0 {
+				return fmt.Errorf("radio: gain row (%d,%d) has %d channels, want %d", u, s, len(h[u][s]), numCh)
+			}
+			for j, g := range h[u][s] {
+				if !(g > 0) || math.IsInf(g, 1) {
+					return fmt.Errorf("radio: gain h[%d][%d][%d] = %g is not a positive finite value", u, s, j, g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Users returns the number of users the tensor covers.
+func (h GainTensor) Users() int { return len(h) }
+
+// Sites returns the number of base stations the tensor covers.
+func (h GainTensor) Sites() int {
+	if len(h) == 0 {
+		return 0
+	}
+	return len(h[0])
+}
+
+// Channels returns the number of subchannels the tensor covers.
+func (h GainTensor) Channels() int {
+	if len(h) == 0 || len(h[0]) == 0 {
+		return 0
+	}
+	return len(h[0][0])
+}
+
+// SINR computes Eq. (3): the signal-to-interference-plus-noise ratio of
+// user u transmitting to site s on subchannel j, given the transmit powers
+// of all users (zero for non-offloading users), the set of co-channel
+// interferers (users assigned to subchannel j at sites other than s), and
+// the per-subchannel noise power noiseW.
+//
+// interferers must not include u itself.
+func (h GainTensor) SINR(u, s, j int, txPowerW []float64, interferers []int, noiseW float64) float64 {
+	interference := 0.0
+	for _, k := range interferers {
+		interference += txPowerW[k] * h[k][s][j]
+	}
+	return txPowerW[u] * h[u][s][j] / (interference + noiseW)
+}
+
+// Rate computes Eq. (4): the achievable uplink rate in bits/s over a
+// subchannel of width wHz at the given SINR.
+func Rate(wHz, sinr float64) float64 {
+	return wHz * math.Log2(1+sinr)
+}

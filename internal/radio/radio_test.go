@@ -1,0 +1,228 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func flatModel() PathLossModel {
+	m := DefaultPathLoss()
+	m.ShadowStdDB = 0
+	m.FreqSelStdDB = 0
+	return m
+}
+
+func TestPathLossAtReference(t *testing.T) {
+	m := DefaultPathLoss()
+	// L(1 km) = 140.7 dB exactly (the paper's intercept).
+	if got := m.PathLossDB(1); math.Abs(got-140.7) > 1e-9 {
+		t.Errorf("PathLossDB(1 km) = %g, want 140.7", got)
+	}
+	// One decade closer: 36.7 dB less.
+	if got := m.PathLossDB(0.1); math.Abs(got-104.0) > 1e-9 {
+		t.Errorf("PathLossDB(0.1 km) = %g, want 104.0", got)
+	}
+}
+
+func TestPathLossClampsAtMinDistance(t *testing.T) {
+	m := DefaultPathLoss()
+	at := m.PathLossDB(m.MinDistanceKm)
+	if got := m.PathLossDB(0); math.Abs(got-at) > 1e-12 {
+		t.Errorf("PathLossDB(0) = %g, want clamp to %g", got, at)
+	}
+	if got := m.PathLossDB(m.MinDistanceKm / 10); math.Abs(got-at) > 1e-12 {
+		t.Errorf("PathLossDB(below min) = %g, want clamp to %g", got, at)
+	}
+}
+
+func TestMeanGainMonotoneInDistance(t *testing.T) {
+	m := flatModel()
+	prev := m.MeanGain(0.02)
+	for _, d := range []float64{0.05, 0.1, 0.3, 0.5, 1, 2} {
+		g := m.MeanGain(d)
+		if g >= prev {
+			t.Errorf("gain not decreasing: g(%g)=%g >= previous %g", d, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestPathLossValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*PathLossModel)
+		wantErr bool
+	}{
+		{name: "default ok", mutate: func(*PathLossModel) {}},
+		{name: "zero slope", mutate: func(m *PathLossModel) { m.SlopeDB = 0 }, wantErr: true},
+		{name: "negative shadow", mutate: func(m *PathLossModel) { m.ShadowStdDB = -1 }, wantErr: true},
+		{name: "negative freqsel", mutate: func(m *PathLossModel) { m.FreqSelStdDB = -1 }, wantErr: true},
+		{name: "zero min distance", mutate: func(m *PathLossModel) { m.MinDistanceKm = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := DefaultPathLoss()
+			tt.mutate(&m)
+			err := m.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewGainTensorShape(t *testing.T) {
+	users := []geom.Point{{X: 0.1}, {X: 0.5}, {X: 1.2}}
+	sites := []geom.Point{{}, {X: 1}}
+	h, err := NewGainTensor(DefaultPathLoss(), users, sites, 4, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Users() != 3 || h.Sites() != 2 || h.Channels() != 4 {
+		t.Fatalf("tensor shape %dx%dx%d", h.Users(), h.Sites(), h.Channels())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGainTensorFlatMatchesPathLoss(t *testing.T) {
+	m := flatModel()
+	users := []geom.Point{{X: 0.25}}
+	sites := []geom.Point{{}}
+	h, err := NewGainTensor(m, users, sites, 2, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.MeanGain(0.25)
+	for j := 0; j < 2; j++ {
+		if math.Abs(h[0][0][j]-want) > 1e-18 {
+			t.Errorf("flat gain h[0][0][%d] = %g, want %g", j, h[0][0][j], want)
+		}
+	}
+}
+
+func TestNewGainTensorErrors(t *testing.T) {
+	users := []geom.Point{{}}
+	sites := []geom.Point{{}}
+	if _, err := NewGainTensor(DefaultPathLoss(), users, sites, 0, simrand.New(1)); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := NewGainTensor(DefaultPathLoss(), users, nil, 2, simrand.New(1)); err == nil {
+		t.Error("no sites accepted")
+	}
+	bad := DefaultPathLoss()
+	bad.SlopeDB = -1
+	if _, err := NewGainTensor(bad, users, sites, 2, simrand.New(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestGainTensorValidateCatchesCorruption(t *testing.T) {
+	users := []geom.Point{{X: 0.2}, {X: 0.4}}
+	sites := []geom.Point{{}, {X: 1}}
+	h, err := NewGainTensor(DefaultPathLoss(), users, sites, 2, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h[1][0][1] = 0
+	if err := h.Validate(); err == nil {
+		t.Error("zero gain passed validation")
+	}
+	h[1][0][1] = math.Inf(1)
+	if err := h.Validate(); err == nil {
+		t.Error("infinite gain passed validation")
+	}
+	h[1][0] = h[1][0][:1]
+	if err := h.Validate(); err == nil {
+		t.Error("ragged tensor passed validation")
+	}
+	if err := (GainTensor{}).Validate(); err == nil {
+		t.Error("empty tensor passed validation")
+	}
+}
+
+func TestSINRNoInterference(t *testing.T) {
+	h := GainTensor{{{1e-10, 1e-10}}}
+	tx := []float64{0.01}
+	got := h.SINR(0, 0, 0, tx, nil, 1e-13)
+	want := 0.01 * 1e-10 / 1e-13
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("SINR = %g, want %g", got, want)
+	}
+}
+
+func TestSINRWithInterference(t *testing.T) {
+	// Two users, two sites: user 1 interferes with user 0 at site 0.
+	h := GainTensor{
+		{{2e-10}, {1e-11}},
+		{{5e-11}, {3e-10}},
+	}
+	tx := []float64{0.01, 0.02}
+	noise := 1e-13
+	got := h.SINR(0, 0, 0, tx, []int{1}, noise)
+	want := 0.01 * 2e-10 / (0.02*5e-11 + noise)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("SINR = %g, want %g", got, want)
+	}
+	// Interference strictly lowers SINR.
+	clean := h.SINR(0, 0, 0, tx, nil, noise)
+	if got >= clean {
+		t.Errorf("interfered SINR %g not below clean %g", got, clean)
+	}
+}
+
+func TestRate(t *testing.T) {
+	// W·log2(1+3) = 2W.
+	if got := Rate(1e6, 3); math.Abs(got-2e6) > 1e-3 {
+		t.Errorf("Rate(1 MHz, 3) = %g, want 2e6", got)
+	}
+	if got := Rate(1e6, 0); got != 0 {
+		t.Errorf("Rate at zero SINR = %g, want 0", got)
+	}
+	// Monotone in SINR.
+	if Rate(1e6, 10) <= Rate(1e6, 5) {
+		t.Error("rate not monotone in SINR")
+	}
+}
+
+func TestGainTensorDeterminism(t *testing.T) {
+	users := []geom.Point{{X: 0.3}, {X: 0.7}}
+	sites := []geom.Point{{}, {X: 1}}
+	a, err := NewGainTensor(DefaultPathLoss(), users, sites, 3, simrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGainTensor(DefaultPathLoss(), users, sites, 3, simrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		for s := range a[u] {
+			for j := range a[u][s] {
+				if a[u][s][j] != b[u][s][j] {
+					t.Fatalf("tensors differ at (%d,%d,%d)", u, s, j)
+				}
+			}
+		}
+	}
+}
+
+func TestShadowingSpreadsGains(t *testing.T) {
+	// With 8 dB shadowing, two users at the same distance should (almost
+	// surely) see different gains.
+	users := []geom.Point{{X: 0.5}, {X: -0.5}}
+	sites := []geom.Point{{}}
+	m := DefaultPathLoss()
+	m.FreqSelStdDB = 0
+	h, err := NewGainTensor(m, users, sites, 1, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0][0][0] == h[1][0][0] {
+		t.Error("shadowing produced identical gains for distinct users")
+	}
+}

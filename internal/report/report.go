@@ -1,0 +1,143 @@
+// Package report renders experiment series as aligned text tables and CSV,
+// the formats the bench harness and CLIs emit in place of the paper's
+// figure plots.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/tsajs/tsajs/internal/stats"
+)
+
+// Series is one curve of a figure: a named scheme with one summarized
+// sample per x value.
+type Series struct {
+	Scheme string          `json:"scheme"`
+	Points []stats.Summary `json:"points"`
+}
+
+// Table is one reproduced figure (or figure panel): a shared x axis and a
+// set of series over it.
+type Table struct {
+	// Title identifies the figure/panel, e.g. "Fig. 4(b) w=1000 Mcycles L=30".
+	Title string `json:"title"`
+	// XLabel and YLabel name the axes.
+	XLabel string `json:"xLabel"`
+	YLabel string `json:"yLabel"`
+	// X holds the x-axis values.
+	X []float64 `json:"x"`
+	// Series holds one curve per scheme, each with len(X) points.
+	Series []Series `json:"series"`
+}
+
+// Validate checks the table for shape consistency.
+func (t *Table) Validate() error {
+	if len(t.X) == 0 {
+		return fmt.Errorf("report: table %q has no x values", t.Title)
+	}
+	for _, s := range t.Series {
+		if len(s.Points) != len(t.X) {
+			return fmt.Errorf("report: table %q series %q has %d points, want %d",
+				t.Title, s.Scheme, len(s.Points), len(t.X))
+		}
+	}
+	return nil
+}
+
+// WriteText renders the table as an aligned text block:
+//
+//	== Title ==
+//	x        SchemeA            SchemeB
+//	1.0      0.4123 ±0.0021     0.3871 ±0.0035
+func (t *Table) WriteText(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	cols := make([][]string, 0, len(t.Series)+1)
+	xCol := make([]string, 0, len(t.X)+1)
+	xCol = append(xCol, t.XLabel)
+	for _, x := range t.X {
+		xCol = append(xCol, trimFloat(x))
+	}
+	cols = append(cols, xCol)
+	for _, s := range t.Series {
+		col := make([]string, 0, len(t.X)+1)
+		col = append(col, s.Scheme)
+		for _, p := range s.Points {
+			col = append(col, fmt.Sprintf("%.4f ±%.4f", p.Mean, p.CI95))
+		}
+		cols = append(cols, col)
+	}
+	return writeColumns(w, cols)
+}
+
+// WriteCSV renders the table as CSV with header
+// x,<scheme> mean,<scheme> ci95,...
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Scheme+" mean", s.Scheme+" ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			row = append(row,
+				strconv.FormatFloat(s.Points[i].Mean, 'g', 8, 64),
+				strconv.FormatFloat(s.Points[i].CI95, 'g', 8, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeColumns(w io.Writer, cols [][]string) error {
+	widths := make([]int, len(cols))
+	rows := 0
+	for c, col := range cols {
+		if len(col) > rows {
+			rows = len(col)
+		}
+		for _, cell := range col {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		sb.Reset()
+		for c, col := range cols {
+			cell := ""
+			if r < len(col) {
+				cell = col[r]
+			}
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}

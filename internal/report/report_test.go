@@ -1,0 +1,174 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/stats"
+)
+
+func sampleTable() Table {
+	return Table{
+		Title:  "Fig. X: test",
+		XLabel: "w",
+		YLabel: "utility",
+		X:      []float64{1000, 2000},
+		Series: []Series{
+			{
+				Scheme: "TSAJS",
+				Points: []stats.Summary{
+					{N: 3, Mean: 1.25, CI95: 0.05},
+					{N: 3, Mean: 2.5, CI95: 0.1},
+				},
+			},
+			{
+				Scheme: "Greedy",
+				Points: []stats.Summary{
+					{N: 3, Mean: 1.0, CI95: 0.02},
+					{N: 3, Mean: 2.0, CI95: 0.04},
+				},
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tbl := sampleTable()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTable()
+	bad.Series[0].Points = bad.Series[0].Points[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	empty := Table{Title: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty x axis accepted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	tbl := sampleTable()
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== Fig. X: test ==",
+		"TSAJS",
+		"Greedy",
+		"1000",
+		"2.5000 ±0.1000",
+		"1.0000 ±0.0200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Header row + 2 data rows + title.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line has the scheme columns starting at
+	// the same offset as the header.
+	headerIdx := strings.Index(lines[1], "TSAJS")
+	if !strings.HasPrefix(lines[2][headerIdx:], "1.2500") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestWriteTextRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	bad := Table{Title: "bad"}
+	if err := bad.WriteText(&sb); err == nil {
+		t.Error("invalid table written")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	tbl := sampleTable()
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "w,TSAJS mean,TSAJS ci95,Greedy mean,Greedy ci95" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1000,1.25,0.05,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	for _, line := range lines {
+		if got := strings.Count(line, ","); got != 4 {
+			t.Errorf("line %q has %d commas, want 4", line, got)
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	bad := sampleTable()
+	bad.X = nil
+	if err := bad.WriteCSV(&sb); err == nil {
+		t.Error("invalid table written as CSV")
+	}
+}
+
+// failWriter fails after n bytes, exercising the writers' error paths.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > w.remaining {
+		n = w.remaining
+	}
+	w.remaining -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = errors.New("write failed")
+
+func TestWriteTextPropagatesWriterErrors(t *testing.T) {
+	tbl := sampleTable()
+	for _, budget := range []int{0, 5, 40} {
+		w := &failWriter{remaining: budget}
+		if err := tbl.WriteText(w); !errors.Is(err, errWriteFailed) {
+			t.Errorf("budget %d: error = %v, want write failure", budget, err)
+		}
+	}
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	tbl := sampleTable()
+	for _, budget := range []int{0, 10} {
+		w := &failWriter{remaining: budget}
+		if err := tbl.WriteCSV(w); !errors.Is(err, errWriteFailed) {
+			t.Errorf("budget %d: error = %v, want write failure", budget, err)
+		}
+	}
+}
+
+func TestWriteTextSingleSeries(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Series = tbl.Series[:1]
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TSAJS") || strings.Contains(sb.String(), "Greedy") {
+		t.Errorf("single-series output wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// scenarioJSON mirrors Scenario's exported fields for serialization. A
+// separate type avoids infinite recursion in the Unmarshaler and keeps the
+// wire format explicit.
+type scenarioJSON struct {
+	Users           []User          `json:"users"`
+	Servers         []Server        `json:"servers"`
+	Gain            [][][]float64   `json:"gain"`
+	Model           json.RawMessage `json:"model,omitempty"`
+	NumChannels     int             `json:"numChannels"`
+	BandwidthHz     float64         `json:"bandwidthHz"`
+	NoiseW          float64         `json:"noiseW"`
+	DownlinkRateBps float64         `json:"downlinkRateBps,omitempty"`
+	Seed            uint64          `json:"seed"`
+}
+
+// MarshalJSON serializes the scenario. Derived values are recomputed on
+// load, not stored.
+func (sc *Scenario) MarshalJSON() ([]byte, error) {
+	model, err := json.Marshal(sc.Model)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(scenarioJSON{
+		Users:           sc.Users,
+		Servers:         sc.Servers,
+		Gain:            sc.Gain,
+		Model:           model,
+		NumChannels:     sc.NumChannels,
+		BandwidthHz:     sc.BandwidthHz,
+		NoiseW:          sc.NoiseW,
+		DownlinkRateBps: sc.DownlinkRateBps,
+		Seed:            sc.Seed,
+	})
+}
+
+// UnmarshalJSON deserializes and finalizes the scenario, so a decoded
+// instance is immediately usable.
+func (sc *Scenario) UnmarshalJSON(data []byte) error {
+	var raw scenarioJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("scenario: decode: %w", err)
+	}
+	sc.Users = raw.Users
+	sc.Servers = raw.Servers
+	sc.Gain = raw.Gain
+	sc.NumChannels = raw.NumChannels
+	sc.BandwidthHz = raw.BandwidthHz
+	sc.NoiseW = raw.NoiseW
+	sc.DownlinkRateBps = raw.DownlinkRateBps
+	sc.Seed = raw.Seed
+	if len(raw.Model) > 0 {
+		if err := json.Unmarshal(raw.Model, &sc.Model); err != nil {
+			return fmt.Errorf("scenario: decode path-loss model: %w", err)
+		}
+	}
+	return sc.Finalize()
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalScenario hardens the scenario decoder: arbitrary bytes must
+// either produce a fully finalized, valid scenario or an error — never a
+// panic and never a half-initialized instance.
+func FuzzUnmarshalScenario(f *testing.F) {
+	// Seed with a real scenario, a truncation of it, and junk.
+	p := DefaultParams()
+	p.NumUsers = 3
+	p.NumServers = 2
+	p.NumChannels = 2
+	sc, err := Build(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"users": null, "servers": []}`))
+	f.Add([]byte(`{"users":[{"fLocalHz":-1}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Scenario
+		if err := json.Unmarshal(data, &got); err != nil {
+			return // rejected, fine
+		}
+		// Accepted: the instance must be internally consistent and
+		// immediately usable.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid scenario: %v", err)
+		}
+		for u := 0; u < got.U(); u++ {
+			d := got.Derived(u)
+			if !(d.Eta > 0) || !(d.TLocalS > 0) || !(d.ELocalJ > 0) {
+				t.Fatalf("accepted scenario has unusable derived values for user %d: %+v", u, d)
+			}
+		}
+	})
+}

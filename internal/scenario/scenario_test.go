@@ -1,0 +1,285 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/task"
+	"github.com/tsajs/tsajs/internal/units"
+)
+
+func buildDefault(t *testing.T, mutate func(*Params)) *Scenario {
+	t.Helper()
+	p := DefaultParams()
+	p.NumUsers = 8
+	if mutate != nil {
+		mutate(&p)
+	}
+	sc, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.NumServers != 9 {
+		t.Errorf("S = %d, want 9", p.NumServers)
+	}
+	if p.NumChannels != 3 {
+		t.Errorf("N = %d, want 3", p.NumChannels)
+	}
+	if p.BandwidthHz != 20e6 {
+		t.Errorf("B = %g, want 20 MHz", p.BandwidthHz)
+	}
+	if p.NoiseDBm != -100 {
+		t.Errorf("noise = %g dBm, want -100", p.NoiseDBm)
+	}
+	if p.TxPowerDBm != 10 {
+		t.Errorf("P_u = %g dBm, want 10", p.TxPowerDBm)
+	}
+	if p.ServerFreqHz != 20e9 {
+		t.Errorf("f_s = %g, want 20 GHz", p.ServerFreqHz)
+	}
+	if p.UserFreqHz != 1e9 {
+		t.Errorf("f_u = %g, want 1 GHz", p.UserFreqHz)
+	}
+	if p.Kappa != 5e-27 {
+		t.Errorf("kappa = %g, want 5e-27", p.Kappa)
+	}
+	if p.Workload.DataBits != 420*units.KB {
+		t.Errorf("d_u = %g, want 420 KB", p.Workload.DataBits)
+	}
+	if p.BetaTime != 0.5 || p.Lambda != 1 {
+		t.Errorf("preferences (%g, %g), want (0.5, 1)", p.BetaTime, p.Lambda)
+	}
+	if p.InterSiteKm != 1 {
+		t.Errorf("inter-site = %g km, want 1", p.InterSiteKm)
+	}
+	if p.PathLoss.InterceptDB != 140.7 || p.PathLoss.SlopeDB != 36.7 || p.PathLoss.ShadowStdDB != 8 {
+		t.Errorf("path loss = %+v, want paper model", p.PathLoss)
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	sc := buildDefault(t, nil)
+	if sc.U() != 8 || sc.S() != 9 || sc.N() != 3 {
+		t.Fatalf("scenario shape U=%d S=%d N=%d", sc.U(), sc.S(), sc.N())
+	}
+	if got := sc.SubchannelHz(); math.Abs(got-20e6/3) > 1e-6 {
+		t.Errorf("W = %g, want B/N", got)
+	}
+	if got := sc.NoiseW; math.Abs(got-1e-13) > 1e-22 {
+		t.Errorf("noise = %g W, want 1e-13", got)
+	}
+	if len(sc.TxPowers()) != 8 {
+		t.Errorf("tx power vector length %d", len(sc.TxPowers()))
+	}
+	for _, p := range sc.TxPowers() {
+		if math.Abs(p-0.01) > 1e-12 {
+			t.Errorf("tx power %g W, want 10 mW", p)
+		}
+	}
+}
+
+func TestBuildUsersInsideCells(t *testing.T) {
+	sc := buildDefault(t, func(p *Params) { p.NumUsers = 200 })
+	sites := make([]geom.Point, sc.S())
+	for i, s := range sc.Servers {
+		sites[i] = s.Pos
+	}
+	cellR := geom.HexCircumradius(1)
+	for i, u := range sc.Users {
+		_, d := geom.Nearest(u.Pos, sites)
+		if d > cellR+1e-9 {
+			t.Errorf("user %d at %v is %.3f km from its nearest BS (> cell circumradius %.3f)",
+				i, u.Pos, d, cellR)
+		}
+	}
+}
+
+func TestBuildDeterministicInSeed(t *testing.T) {
+	a := buildDefault(t, func(p *Params) { p.Seed = 77 })
+	b := buildDefault(t, func(p *Params) { p.Seed = 77 })
+	for i := range a.Users {
+		if a.Users[i].Pos != b.Users[i].Pos {
+			t.Fatalf("user %d position differs across identical seeds", i)
+		}
+	}
+	for u := range a.Gain {
+		for s := range a.Gain[u] {
+			for j := range a.Gain[u][s] {
+				if a.Gain[u][s][j] != b.Gain[u][s][j] {
+					t.Fatalf("gain (%d,%d,%d) differs across identical seeds", u, s, j)
+				}
+			}
+		}
+	}
+	c := buildDefault(t, func(p *Params) { p.Seed = 78 })
+	if a.Users[0].Pos == c.Users[0].Pos {
+		t.Error("different seeds produced identical first user position")
+	}
+}
+
+func TestDerivedCoefficients(t *testing.T) {
+	sc := buildDefault(t, nil)
+	w := sc.SubchannelHz()
+	for i := range sc.Users {
+		u := sc.Users[i]
+		d := sc.Derived(i)
+		tLocal := u.Task.WorkCycles / u.FLocalHz
+		eLocal := u.Kappa * u.FLocalHz * u.FLocalHz * u.Task.WorkCycles
+		if math.Abs(d.TLocalS-tLocal) > 1e-12*tLocal {
+			t.Errorf("user %d TLocal = %g, want %g", i, d.TLocalS, tLocal)
+		}
+		if math.Abs(d.ELocalJ-eLocal) > 1e-12*eLocal {
+			t.Errorf("user %d ELocal = %g, want %g", i, d.ELocalJ, eLocal)
+		}
+		if want := u.Lambda * u.BetaTime * u.Task.DataBits / (tLocal * w); math.Abs(d.Phi-want) > 1e-12*want {
+			t.Errorf("user %d phi = %g, want %g", i, d.Phi, want)
+		}
+		if want := u.Lambda * u.BetaEnergy * u.Task.DataBits / (eLocal * w); math.Abs(d.Psi-want) > 1e-12*want {
+			t.Errorf("user %d psi = %g, want %g", i, d.Psi, want)
+		}
+		if want := u.Lambda * u.BetaTime * u.FLocalHz; math.Abs(d.Eta-want) > 1e-6 {
+			t.Errorf("user %d eta = %g, want %g", i, d.Eta, want)
+		}
+		if math.Abs(d.SqrtEta-math.Sqrt(d.Eta)) > 1e-9 {
+			t.Errorf("user %d sqrt eta inconsistent", i)
+		}
+		if want := u.Lambda * (u.BetaTime + u.BetaEnergy); math.Abs(d.GainConst-want) > 1e-12 {
+			t.Errorf("user %d gain const = %g, want %g", i, d.GainConst, want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{name: "zero users", mutate: func(p *Params) { p.NumUsers = 0 }},
+		{name: "zero servers", mutate: func(p *Params) { p.NumServers = 0 }},
+		{name: "zero channels", mutate: func(p *Params) { p.NumChannels = 0 }},
+		{name: "zero bandwidth", mutate: func(p *Params) { p.BandwidthHz = 0 }},
+		{name: "zero server freq", mutate: func(p *Params) { p.ServerFreqHz = 0 }},
+		{name: "zero user freq", mutate: func(p *Params) { p.UserFreqHz = 0 }},
+		{name: "zero kappa", mutate: func(p *Params) { p.Kappa = 0 }},
+		{name: "beta above one", mutate: func(p *Params) { p.BetaTime = 1.5 }},
+		{name: "beta negative", mutate: func(p *Params) { p.BetaTime = -0.1 }},
+		{name: "lambda zero", mutate: func(p *Params) { p.Lambda = 0 }},
+		{name: "lambda above one", mutate: func(p *Params) { p.Lambda = 1.5 }},
+		{name: "zero spacing", mutate: func(p *Params) { p.InterSiteKm = 0 }},
+		{name: "bad workload", mutate: func(p *Params) { p.Workload.DataBits = 0 }},
+		{name: "bad path loss", mutate: func(p *Params) { p.PathLoss.SlopeDB = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if _, err := Build(p); err == nil {
+				t.Error("Build accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestUserValidate(t *testing.T) {
+	valid := User{
+		Task:       task.Task{DataBits: 1e6, WorkCycles: 1e9},
+		FLocalHz:   1e9,
+		TxPowerW:   0.01,
+		Kappa:      5e-27,
+		BetaTime:   0.5,
+		BetaEnergy: 0.5,
+		Lambda:     1,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid user rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*User)
+	}{
+		{name: "zero freq", mutate: func(u *User) { u.FLocalHz = 0 }},
+		{name: "zero power", mutate: func(u *User) { u.TxPowerW = 0 }},
+		{name: "zero kappa", mutate: func(u *User) { u.Kappa = 0 }},
+		{name: "betas do not sum", mutate: func(u *User) { u.BetaTime = 0.9 }},
+		{name: "beta out of range", mutate: func(u *User) { u.BetaTime, u.BetaEnergy = 1.2, -0.2 }},
+		{name: "lambda zero", mutate: func(u *User) { u.Lambda = 0 }},
+		{name: "bad task", mutate: func(u *User) { u.Task.DataBits = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			u := valid
+			tt.mutate(&u)
+			if err := u.Validate(); err == nil {
+				t.Error("invalid user accepted")
+			}
+		})
+	}
+}
+
+func TestScenarioValidateCatchesMismatchedGain(t *testing.T) {
+	sc := buildDefault(t, nil)
+	sc.Gain = sc.Gain[:len(sc.Gain)-1]
+	if err := sc.Validate(); err == nil {
+		t.Error("truncated gain tensor accepted")
+	}
+}
+
+func TestServerValidate(t *testing.T) {
+	if err := (Server{FHz: 20e9}).Validate(); err != nil {
+		t.Errorf("valid server rejected: %v", err)
+	}
+	if err := (Server{FHz: 0}).Validate(); err == nil {
+		t.Error("zero-capacity server accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := buildDefault(t, func(p *Params) { p.NumUsers = 5; p.Seed = 13 })
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Scenario
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.U() != orig.U() || got.S() != orig.S() || got.N() != orig.N() {
+		t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d",
+			got.U(), got.S(), got.N(), orig.U(), orig.S(), orig.N())
+	}
+	if got.Seed != orig.Seed || got.BandwidthHz != orig.BandwidthHz || got.NoiseW != orig.NoiseW {
+		t.Error("scalar fields changed in round trip")
+	}
+	for u := range orig.Gain {
+		for s := range orig.Gain[u] {
+			for j := range orig.Gain[u][s] {
+				if got.Gain[u][s][j] != orig.Gain[u][s][j] {
+					t.Fatalf("gain (%d,%d,%d) changed in round trip", u, s, j)
+				}
+			}
+		}
+	}
+	// Derived values must be usable after decode (Finalize ran).
+	for u := range got.Users {
+		if got.Derived(u).Eta <= 0 {
+			t.Fatalf("derived coefficients missing after decode for user %d", u)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	var sc Scenario
+	if err := json.Unmarshal([]byte(`{"users":[],"servers":[]}`), &sc); err == nil {
+		t.Error("empty scenario decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`{not json`), &sc); err == nil {
+		t.Error("malformed JSON decoded without error")
+	}
+}

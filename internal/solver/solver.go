@@ -1,0 +1,108 @@
+// Package solver defines the common contract all TSAJS schedulers
+// (the TTSA core and every baseline) implement, and shared helpers for
+// producing results and feasible starting points.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/alloc"
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// Scheduler solves the Task Offloading problem for one scenario instance.
+type Scheduler interface {
+	// Name identifies the scheme in experiment output ("TSAJS",
+	// "Exhaustive", "hJTORA", "LocalSearch", "Greedy").
+	Name() string
+	// Schedule returns the offloading decision, the KKT allocation and
+	// the achieved system utility. rng drives any internal randomness;
+	// deterministic schedulers ignore it.
+	Schedule(sc *scenario.Scenario, rng *simrand.Source) (Result, error)
+}
+
+// Result is the outcome of one solve.
+type Result struct {
+	// Scheme is the scheduler name.
+	Scheme string
+	// Assignment is the offloading decision X.
+	Assignment *assign.Assignment
+	// Allocation is the computing resource allocation F (KKT-optimal for
+	// all built-in schedulers).
+	Allocation alloc.Allocation
+	// Utility is the achieved system utility J(X, F).
+	Utility float64
+	// Evaluations counts objective evaluations performed by the search.
+	Evaluations int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Finish packages a final decision into a Result, recomputing the KKT
+// allocation and utility so every scheduler reports consistent numbers.
+func Finish(scheme string, e *objective.Evaluator, a *assign.Assignment, evaluations int, started time.Time) Result {
+	f, _ := alloc.KKT(e.Scenario(), a)
+	return Result{
+		Scheme:      scheme,
+		Assignment:  a,
+		Allocation:  f,
+		Utility:     e.SystemUtility(a),
+		Evaluations: evaluations,
+		Elapsed:     time.Since(started),
+	}
+}
+
+// Verify checks that a result is feasible for the scenario: assignment
+// invariants hold and the allocation respects server capacities.
+func Verify(sc *scenario.Scenario, r Result) error {
+	if r.Assignment == nil {
+		return fmt.Errorf("solver: %s returned nil assignment", r.Scheme)
+	}
+	if err := r.Assignment.Validate(); err != nil {
+		return fmt.Errorf("solver: %s: %w", r.Scheme, err)
+	}
+	if r.Assignment.Users() != sc.U() || r.Assignment.Servers() != sc.S() || r.Assignment.Channels() != sc.N() {
+		return fmt.Errorf("solver: %s assignment dimensions (%d,%d,%d) do not match scenario (%d,%d,%d)",
+			r.Scheme, r.Assignment.Users(), r.Assignment.Servers(), r.Assignment.Channels(),
+			sc.U(), sc.S(), sc.N())
+	}
+	return alloc.Validate(sc, r.Assignment, r.Allocation)
+}
+
+// RandomFeasible draws a random feasible decision: each user independently
+// chooses, with probability offloadProb, a uniformly random free slot (if
+// any remain) and otherwise stays local. This is the constraint-satisfying
+// initial solution of Algorithm 1, line 5.
+func RandomFeasible(sc *scenario.Scenario, rng *simrand.Source, offloadProb float64) (*assign.Assignment, error) {
+	a, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range rng.Perm(sc.U()) {
+		if rng.Float64() >= offloadProb {
+			continue
+		}
+		s := rng.Intn(sc.S())
+		j := a.FreeChannel(s, rng.Intn(sc.N()))
+		if j == assign.Local {
+			// Chosen server full; try any server with space.
+			for _, alt := range rng.Perm(sc.S()) {
+				if j = a.FreeChannel(alt, rng.Intn(sc.N())); j != assign.Local {
+					s = alt
+					break
+				}
+			}
+		}
+		if j == assign.Local {
+			continue // network full
+		}
+		if err := a.Offload(u, s, j); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

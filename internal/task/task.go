@@ -1,0 +1,124 @@
+// Package task models the user computation tasks of the TSAJS system: the
+// atomic assignment T_u = ⟨d_u, w_u⟩ of Section III-A1 of the paper, local
+// execution cost, and workload generators used by the experiments.
+package task
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// Task is a single non-divisible computation task T_u = ⟨d_u, w_u⟩.
+type Task struct {
+	// DataBits is d_u: the input volume (program state, instructions,
+	// inputs) that must be uploaded to offload the task, in bits.
+	DataBits float64 `json:"dataBits"`
+	// WorkCycles is w_u: the computational load in CPU cycles.
+	WorkCycles float64 `json:"workCycles"`
+	// OutputBits is o_u: the result volume returned on the downlink.
+	// The paper's base model ignores downlink delay (small outputs, fast
+	// downlink) but notes the algorithm adapts when it matters; a zero
+	// value (the default) reproduces the base model. See
+	// Scenario.DownlinkRateBps.
+	OutputBits float64 `json:"outputBits,omitempty"`
+}
+
+// Validate reports whether the task parameters are physically meaningful.
+func (t Task) Validate() error {
+	if t.DataBits <= 0 {
+		return fmt.Errorf("task: data size must be positive, got %g bits", t.DataBits)
+	}
+	if t.WorkCycles <= 0 {
+		return fmt.Errorf("task: workload must be positive, got %g cycles", t.WorkCycles)
+	}
+	if t.OutputBits < 0 {
+		return fmt.Errorf("task: output size must be non-negative, got %g bits", t.OutputBits)
+	}
+	return nil
+}
+
+// LocalCost is the time and energy of executing a task on the user device.
+type LocalCost struct {
+	// TimeS is t_u^local = w_u / f_u^local, in seconds.
+	TimeS float64
+	// EnergyJ is E_u^local = κ·(f_u^local)²·w_u (Eq. 1), in Joules.
+	EnergyJ float64
+}
+
+// Local computes the local execution cost of t on a device with CPU
+// frequency fLocalHz (cycles/s) and chip energy coefficient kappa.
+func Local(t Task, fLocalHz, kappa float64) (LocalCost, error) {
+	if fLocalHz <= 0 {
+		return LocalCost{}, errors.New("task: local CPU frequency must be positive")
+	}
+	if kappa <= 0 {
+		return LocalCost{}, errors.New("task: energy coefficient kappa must be positive")
+	}
+	if err := t.Validate(); err != nil {
+		return LocalCost{}, err
+	}
+	return LocalCost{
+		TimeS:   t.WorkCycles / fLocalHz,
+		EnergyJ: kappa * fLocalHz * fLocalHz * t.WorkCycles,
+	}, nil
+}
+
+// Generator produces task parameters for a population of users. The paper's
+// experiments use homogeneous tasks (fixed d_u and w_u per data point); the
+// jitter fields allow heterogeneous populations for the examples and
+// robustness tests.
+type Generator struct {
+	// DataBits and WorkCycles are the nominal task parameters.
+	DataBits   float64
+	WorkCycles float64
+	// OutputBits is the nominal result size (0 in the paper's base
+	// model, which ignores the downlink).
+	OutputBits float64
+	// DataJitter and WorkJitter are relative half-widths: each user's
+	// parameter is drawn uniformly from nominal·(1±jitter). Zero (the
+	// paper's setting) makes every task identical.
+	DataJitter float64
+	WorkJitter float64
+}
+
+// Validate checks the generator configuration.
+func (g Generator) Validate() error {
+	if err := (Task{DataBits: g.DataBits, WorkCycles: g.WorkCycles, OutputBits: g.OutputBits}).Validate(); err != nil {
+		return err
+	}
+	if g.DataJitter < 0 || g.DataJitter >= 1 {
+		return fmt.Errorf("task: data jitter must be in [0,1), got %g", g.DataJitter)
+	}
+	if g.WorkJitter < 0 || g.WorkJitter >= 1 {
+		return fmt.Errorf("task: work jitter must be in [0,1), got %g", g.WorkJitter)
+	}
+	return nil
+}
+
+// Generate draws n tasks from the generator.
+func (g Generator) Generate(n int, rng *simrand.Source) ([]Task, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("task: cannot generate %d tasks", n)
+	}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			DataBits:   jitter(g.DataBits, g.DataJitter, rng),
+			WorkCycles: jitter(g.WorkCycles, g.WorkJitter, rng),
+			OutputBits: g.OutputBits,
+		}
+	}
+	return tasks, nil
+}
+
+func jitter(nominal, rel float64, rng *simrand.Source) float64 {
+	if rel == 0 {
+		return nominal
+	}
+	return nominal * (1 + rel*(2*rng.Float64()-1))
+}

@@ -1,0 +1,169 @@
+package task
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func TestTaskValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		task    Task
+		wantErr bool
+	}{
+		{name: "valid", task: Task{DataBits: 1e6, WorkCycles: 1e9}},
+		{name: "zero data", task: Task{DataBits: 0, WorkCycles: 1e9}, wantErr: true},
+		{name: "negative data", task: Task{DataBits: -1, WorkCycles: 1e9}, wantErr: true},
+		{name: "zero work", task: Task{DataBits: 1e6, WorkCycles: 0}, wantErr: true},
+		{name: "negative work", task: Task{DataBits: 1e6, WorkCycles: -5}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.task.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLocalCost(t *testing.T) {
+	// The paper's numbers: w=1000 Megacycles on a 1 GHz device with
+	// kappa=5e-27 takes 1 s and 5 J (Eq. 1).
+	c, err := Local(Task{DataBits: 1, WorkCycles: 1e9}, 1e9, 5e-27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.TimeS-1) > 1e-12 {
+		t.Errorf("local time = %g s, want 1", c.TimeS)
+	}
+	if math.Abs(c.EnergyJ-5) > 1e-9 {
+		t.Errorf("local energy = %g J, want 5", c.EnergyJ)
+	}
+}
+
+func TestLocalCostScaling(t *testing.T) {
+	// Energy grows quadratically in frequency at fixed workload.
+	base, err := Local(Task{DataBits: 1, WorkCycles: 1e9}, 1e9, 5e-27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Local(Task{DataBits: 1, WorkCycles: 1e9}, 2e9, 5e-27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.TimeS-base.TimeS/2) > 1e-12 {
+		t.Errorf("doubling f should halve time: %g vs %g", fast.TimeS, base.TimeS)
+	}
+	if math.Abs(fast.EnergyJ-4*base.EnergyJ) > 1e-9 {
+		t.Errorf("doubling f should quadruple energy: %g vs %g", fast.EnergyJ, base.EnergyJ)
+	}
+}
+
+func TestLocalInvalidInputs(t *testing.T) {
+	task := Task{DataBits: 1e6, WorkCycles: 1e9}
+	if _, err := Local(task, 0, 5e-27); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := Local(task, 1e9, 0); err == nil {
+		t.Error("zero kappa accepted")
+	}
+	if _, err := Local(Task{}, 1e9, 5e-27); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestGeneratorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		gen     Generator
+		wantErr bool
+	}{
+		{name: "valid homogeneous", gen: Generator{DataBits: 1e6, WorkCycles: 1e9}},
+		{name: "valid jittered", gen: Generator{DataBits: 1e6, WorkCycles: 1e9, DataJitter: 0.3, WorkJitter: 0.5}},
+		{name: "bad data", gen: Generator{DataBits: 0, WorkCycles: 1e9}, wantErr: true},
+		{name: "jitter too big", gen: Generator{DataBits: 1e6, WorkCycles: 1e9, DataJitter: 1}, wantErr: true},
+		{name: "negative jitter", gen: Generator{DataBits: 1e6, WorkCycles: 1e9, WorkJitter: -0.1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.gen.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateHomogeneous(t *testing.T) {
+	gen := Generator{DataBits: 3e6, WorkCycles: 2e9}
+	tasks, err := gen.Generate(10, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 10 {
+		t.Fatalf("generated %d tasks", len(tasks))
+	}
+	for i, tk := range tasks {
+		if tk.DataBits != 3e6 || tk.WorkCycles != 2e9 {
+			t.Errorf("task %d = %+v, want nominal values", i, tk)
+		}
+	}
+}
+
+func TestGenerateJitterBounds(t *testing.T) {
+	gen := Generator{DataBits: 1e6, WorkCycles: 1e9, DataJitter: 0.2, WorkJitter: 0.4}
+	tasks, err := gen.Generate(500, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLow, sawHigh := false, false
+	for i, tk := range tasks {
+		if tk.DataBits < 0.8e6 || tk.DataBits > 1.2e6 {
+			t.Fatalf("task %d data %g outside jitter bounds", i, tk.DataBits)
+		}
+		if tk.WorkCycles < 0.6e9 || tk.WorkCycles > 1.4e9 {
+			t.Fatalf("task %d work %g outside jitter bounds", i, tk.WorkCycles)
+		}
+		if tk.WorkCycles < 0.8e9 {
+			sawLow = true
+		}
+		if tk.WorkCycles > 1.2e9 {
+			sawHigh = true
+		}
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("task %d invalid: %v", i, err)
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Error("jitter never explored the outer half of its range")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := (Generator{}).Generate(3, simrand.New(1)); err == nil {
+		t.Error("invalid generator accepted")
+	}
+	if _, err := (Generator{DataBits: 1, WorkCycles: 1}).Generate(-1, simrand.New(1)); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	gen := Generator{DataBits: 1e6, WorkCycles: 1e9, DataJitter: 0.5, WorkJitter: 0.5}
+	a, err := gen.Generate(20, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Generate(20, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs across identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package units provides the unit conventions and conversions used across
+// the TSAJS simulator.
+//
+// All internal computation is carried out in SI base units:
+//
+//   - power in Watts,
+//   - bandwidth and CPU frequency in Hertz (cycles per second),
+//   - data sizes in bits,
+//   - computation amounts in CPU cycles,
+//   - time in seconds,
+//   - energy in Joules,
+//   - distances in kilometres (the path-loss model is specified in km).
+//
+// Radio parameters are commonly quoted in logarithmic units (dB, dBm); this
+// package holds the conversions between the logarithmic and linear domains.
+package units
+
+import "math"
+
+// Common magnitude constants. These exist so that scenario definitions read
+// like the paper ("20 MHz", "420 KB", "1000 Megacycles") instead of raw
+// exponents.
+const (
+	// Hz-based magnitudes (bandwidth, CPU frequency).
+	Hz  = 1.0
+	KHz = 1e3
+	MHz = 1e6
+	GHz = 1e9
+
+	// Bit-based magnitudes (task input sizes). The paper quotes task sizes
+	// in kilobytes; KB here is 1024 bytes of 8 bits, matching the common
+	// convention for the 420 KB workload.
+	Bit = 1.0
+	KB  = 8 * 1024.0
+	MB  = 8 * 1024.0 * 1024.0
+
+	// Cycle-based magnitudes (task computational loads).
+	Cycle     = 1.0
+	Megacycle = 1e6
+	Gigacycle = 1e9
+)
+
+// DBToLinear converts a ratio expressed in decibels to a linear ratio.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear ratio to decibels. The ratio must be
+// positive; non-positive inputs yield -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// DBmToWatts converts a power level in dBm to Watts.
+func DBmToWatts(dbm float64) float64 {
+	return math.Pow(10, (dbm-30)/10)
+}
+
+// WattsToDBm converts a power level in Watts to dBm. Non-positive power
+// yields -Inf.
+func WattsToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(w) + 30
+}

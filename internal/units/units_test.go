@@ -1,0 +1,118 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBToLinear(t *testing.T) {
+	tests := []struct {
+		name string
+		db   float64
+		want float64
+	}{
+		{name: "zero dB is unity", db: 0, want: 1},
+		{name: "3 dB is about double", db: 3.0102999566, want: 2},
+		{name: "10 dB is ten", db: 10, want: 10},
+		{name: "20 dB is hundred", db: 20, want: 100},
+		{name: "-10 dB is a tenth", db: -10, want: 0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DBToLinear(tt.db); math.Abs(got-tt.want) > 1e-9*tt.want {
+				t.Errorf("DBToLinear(%g) = %g, want %g", tt.db, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLinearToDB(t *testing.T) {
+	tests := []struct {
+		name string
+		lin  float64
+		want float64
+	}{
+		{name: "unity is zero dB", lin: 1, want: 0},
+		{name: "ten is 10 dB", lin: 10, want: 10},
+		{name: "thousand is 30 dB", lin: 1000, want: 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LinearToDB(tt.lin); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("LinearToDB(%g) = %g, want %g", tt.lin, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLinearToDBNonPositive(t *testing.T) {
+	for _, lin := range []float64{0, -1, -1e9} {
+		if got := LinearToDB(lin); !math.IsInf(got, -1) {
+			t.Errorf("LinearToDB(%g) = %g, want -Inf", lin, got)
+		}
+	}
+}
+
+func TestDBmToWatts(t *testing.T) {
+	tests := []struct {
+		name string
+		dbm  float64
+		want float64
+	}{
+		{name: "0 dBm is 1 mW", dbm: 0, want: 1e-3},
+		{name: "30 dBm is 1 W", dbm: 30, want: 1},
+		{name: "10 dBm is 10 mW (paper tx power)", dbm: 10, want: 1e-2},
+		{name: "-100 dBm is 0.1 pW (paper noise)", dbm: -100, want: 1e-13},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DBmToWatts(tt.dbm); math.Abs(got-tt.want) > 1e-9*tt.want {
+				t.Errorf("DBmToWatts(%g) = %g, want %g", tt.dbm, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWattsToDBmNonPositive(t *testing.T) {
+	if got := WattsToDBm(0); !math.IsInf(got, -1) {
+		t.Errorf("WattsToDBm(0) = %g, want -Inf", got)
+	}
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	prop := func(db float64) bool {
+		db = math.Mod(db, 200) // keep within representable dynamic range
+		back := LinearToDB(DBToLinear(db))
+		return math.Abs(back-db) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	prop := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200)
+		back := WattsToDBm(DBmToWatts(dbm))
+		return math.Abs(back-dbm) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMagnitudeConstants(t *testing.T) {
+	if KB != 8192 {
+		t.Errorf("KB = %g bits, want 8192", float64(KB))
+	}
+	if MB != 8192*1024 {
+		t.Errorf("MB = %g bits, want %g", float64(MB), 8192.0*1024)
+	}
+	if GHz != 1e9 || MHz != 1e6 || KHz != 1e3 {
+		t.Error("Hz magnitude constants are inconsistent")
+	}
+	if Megacycle != 1e6 || Gigacycle != 1e9 {
+		t.Error("cycle magnitude constants are inconsistent")
+	}
+}

@@ -1,0 +1,220 @@
+package tsajs
+
+import (
+	"github.com/tsajs/tsajs/internal/alloc"
+	"github.com/tsajs/tsajs/internal/analysis"
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/dynamic"
+	"github.com/tsajs/tsajs/internal/experiment"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/report"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/spec"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// Core model types.
+type (
+	// Scenario is a complete, validated JTORA problem instance.
+	Scenario = scenario.Scenario
+	// Params configures Build; see DefaultParams for the paper defaults.
+	Params = scenario.Params
+	// User is one mobile user (position, task, device, preferences).
+	User = scenario.User
+	// Server is one MEC server co-located with a base station.
+	Server = scenario.Server
+	// Task is an atomic computation assignment ⟨d_u, w_u⟩.
+	Task = task.Task
+	// Point is a planar position in kilometres.
+	Point = geom.Point
+	// Assignment is an offloading decision X; it structurally enforces
+	// the uniqueness constraints of the JTORA formulation.
+	Assignment = assign.Assignment
+	// Allocation is a computing-resource allocation F.
+	Allocation = alloc.Allocation
+	// Report is the full per-user evaluation of a decision.
+	Report = objective.Report
+	// UserMetrics is one user's outcome within a Report.
+	UserMetrics = objective.UserMetrics
+	// Result is the outcome of one scheduler run.
+	Result = solver.Result
+	// Scheduler is the common interface of TSAJS and all baselines.
+	Scheduler = solver.Scheduler
+	// Rand is the deterministic random source driving stochastic
+	// schedulers and scenario generation.
+	Rand = simrand.Source
+	// Config parametrizes the TTSA scheduler (Algorithm 1).
+	Config = core.Config
+	// TTSA is the concrete TSAJS scheduler; beyond the Scheduler
+	// interface it offers ScheduleTrace for convergence analysis.
+	TTSA = core.TTSA
+	// TracePoint is one temperature stage of a traced TTSA run.
+	TracePoint = core.TracePoint
+	// TraceSummary condenses a traced run (stages, evaluations,
+	// accelerated-cooling count, time-to-99%).
+	TraceSummary = analysis.Summary
+	// TraceComparison reports relative convergence speed of two traces.
+	TraceComparison = analysis.Comparison
+	// MultiStart runs independent TTSA chains concurrently and keeps the
+	// best result.
+	MultiStart = core.MultiStart
+	// MoveWeights is the Algorithm 2 neighbourhood move mix.
+	MoveWeights = core.MoveWeights
+	// LocalSearchConfig parametrizes the LocalSearch baseline.
+	LocalSearchConfig = baseline.LocalSearchConfig
+	// ExperimentOptions controls paper-figure reproduction runs.
+	ExperimentOptions = experiment.Options
+	// FigureTable is one reproduced figure panel (x axis + series).
+	FigureTable = report.Table
+	// DynamicConfig parametrizes the multi-epoch online simulation
+	// (mobility + stochastic task arrivals + per-epoch re-scheduling).
+	DynamicConfig = dynamic.Config
+	// DynamicResult aggregates an online simulation run.
+	DynamicResult = dynamic.Result
+	// EpochMetrics is one scheduling round of an online simulation.
+	EpochMetrics = dynamic.EpochMetrics
+	// Coordinator is the C-RAN scheduling service (the paper's
+	// centralized BBU) serving offloading requests over TCP.
+	Coordinator = cran.Server
+	// CoordinatorConfig parametrizes a Coordinator.
+	CoordinatorConfig = cran.ServerConfig
+	// CoordinatorClient is a device-side connection to a Coordinator.
+	CoordinatorClient = cran.Client
+	// OffloadRequest and OffloadResponse are the coordinator's wire
+	// messages.
+	OffloadRequest  = cran.OffloadRequest
+	OffloadResponse = cran.OffloadResponse
+)
+
+// Local marks a user as executing its task on the device in an Assignment.
+const Local = assign.Local
+
+// DefaultParams returns the paper's evaluation defaults (Section V): S=9
+// hexagonal cells 1 km apart, N=3 subchannels over B=20 MHz, σ²=−100 dBm,
+// P_u=10 dBm, f_s=20 GHz, f_u=1 GHz, κ=5·10⁻²⁷, d_u=420 KB, w_u=1000
+// Megacycles, β^time=β^energy=0.5, λ=1.
+func DefaultParams() Params { return scenario.DefaultParams() }
+
+// Build draws a scenario instance from params (deterministic in
+// params.Seed).
+func Build(params Params) (*Scenario, error) { return scenario.Build(params) }
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *Rand { return simrand.New(seed) }
+
+// DefaultConfig returns Algorithm 1's published constants.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewScheduler returns the TSAJS scheduler with the paper's defaults.
+func NewScheduler() Scheduler { return core.NewDefault() }
+
+// NewSchedulerWith returns a TSAJS scheduler with a custom configuration.
+func NewSchedulerWith(cfg Config) (Scheduler, error) { return core.New(cfg) }
+
+// NewTTSA returns the concrete TSAJS scheduler, exposing ScheduleTrace in
+// addition to the Scheduler interface.
+func NewTTSA(cfg Config) (*TTSA, error) { return core.New(cfg) }
+
+// NewMultiStart returns a scheduler that runs `starts` independent TTSA
+// chains (up to `parallelism` concurrently; 0 means GOMAXPROCS) and keeps
+// the best result.
+func NewMultiStart(cfg Config, starts, parallelism int) (*MultiStart, error) {
+	return core.NewMultiStart(cfg, starts, parallelism)
+}
+
+// Baseline schedulers from the paper's evaluation.
+func NewExhaustive() Scheduler  { return &baseline.Exhaustive{} }
+func NewHJTORA() Scheduler      { return &baseline.HJTORA{} }
+func NewGreedy() Scheduler      { return &baseline.Greedy{} }
+func NewLocalSearch() Scheduler { return baseline.NewDefaultLocalSearch() }
+
+// NewLocalSearchWith returns a LocalSearch baseline with a custom budget.
+func NewLocalSearchWith(cfg LocalSearchConfig) (Scheduler, error) {
+	return baseline.NewLocalSearch(cfg)
+}
+
+// NewAssignment returns an all-local decision sized for sc.
+func NewAssignment(sc *Scenario) (*Assignment, error) {
+	return assign.New(sc.U(), sc.S(), sc.N())
+}
+
+// SystemUtility evaluates J*(X): the system utility of decision a under
+// the KKT-optimal resource allocation.
+func SystemUtility(sc *Scenario, a *Assignment) float64 {
+	return objective.New(sc).SystemUtility(a)
+}
+
+// Evaluate produces the full per-user report (delays, energies, rates,
+// allocated CPU, utilities) of decision a.
+func Evaluate(sc *Scenario, a *Assignment) Report {
+	return objective.New(sc).Evaluate(a)
+}
+
+// KKTAllocation returns the closed-form optimal resource allocation F* for
+// decision a (Eq. 22).
+func KKTAllocation(sc *Scenario, a *Assignment) Allocation {
+	f, _ := alloc.KKT(sc, a)
+	return f
+}
+
+// Verify checks that a scheduler result is feasible for sc.
+func Verify(sc *Scenario, r Result) error { return solver.Verify(sc, r) }
+
+// RunDynamic executes the multi-epoch online simulation: random-waypoint
+// mobility, stochastic task arrivals, and TSAJS re-scheduling per epoch
+// (warm-started when cfg.WarmStart is set).
+func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) { return dynamic.Run(cfg) }
+
+// NewCoordinator starts a C-RAN scheduling coordinator listening on addr.
+func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
+	return cran.NewServer(addr, cfg)
+}
+
+// DialCoordinator connects a device-side client to a coordinator.
+func DialCoordinator(addr string) (*CoordinatorClient, error) { return cran.Dial(addr) }
+
+// SummarizeTrace condenses a traced TTSA run for convergence analysis.
+func SummarizeTrace(trace []TracePoint) (TraceSummary, error) {
+	return analysis.Summarize(trace)
+}
+
+// CompareTraces reports how much faster trace a reaches the weaker of the
+// two final utilities than trace b.
+func CompareTraces(a, b []TracePoint) (TraceComparison, error) {
+	return analysis.Compare(a, b)
+}
+
+// Figures lists the reproducible paper experiment identifiers
+// ("fig3".."fig9").
+func Figures() []string { return experiment.Figures() }
+
+// Ablations lists the design-choice experiments beyond the paper's
+// figures ("abl-cooling", "abl-moves", "abl-eviction", "abl-multistart").
+func Ablations() []string { return experiment.Ablations() }
+
+// RunAblation executes one ablation experiment.
+func RunAblation(id string, opts ExperimentOptions) ([]FigureTable, error) {
+	return experiment.RunAblation(id, opts)
+}
+
+// RunFigure reproduces one paper figure, returning one table per panel.
+func RunFigure(figure string, opts ExperimentOptions) ([]FigureTable, error) {
+	return experiment.Run(figure, opts)
+}
+
+// RunSpec executes a custom sweep from a declarative JSON specification
+// (see internal/spec for the format): pick a swept parameter, its values,
+// the schemes, the metric and the trial count.
+func RunSpec(blob []byte) (FigureTable, error) {
+	sp, err := spec.Parse(blob)
+	if err != nil {
+		return FigureTable{}, err
+	}
+	return sp.Run()
+}
