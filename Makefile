@@ -1,0 +1,26 @@
+# Tier-1 check (matches ROADMAP.md): build + tests.
+.PHONY: tier1
+tier1:
+	go build ./...
+	go test ./...
+
+# Tier-1+ robustness check: vet, build, the full suite under the race
+# detector, and a short fuzz pass over every fuzz target's corpus plus a
+# few seconds of fresh exploration each. CI and pre-merge runs should use
+# this target.
+.PHONY: verify
+verify:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+	go test -run='^$$' -fuzz=FuzzOperationSequence -fuzztime=5s ./internal/assign
+	go test -run='^$$' -fuzz=FuzzUnmarshalScenario -fuzztime=5s ./internal/scenario
+	go test -run='^$$' -fuzz=FuzzHandleRequest -fuzztime=5s ./internal/cran
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...
+
+.PHONY: fmt
+fmt:
+	gofmt -w .

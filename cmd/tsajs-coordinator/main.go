@@ -42,6 +42,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		batch    = fs.Int("batch", 0, "max batch size (0 = network slot capacity)")
 		seed     = fs.Uint64("seed", 1, "coordinator random seed")
 		budget   = fs.Int("budget", 20000, "TTSA evaluation budget per epoch")
+
+		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (negative disables)")
+		maxLine     = fs.Int("max-line-bytes", 1<<20, "maximum request line length on the wire [bytes]")
+		maxConns    = fs.Int("max-conns", 256, "maximum concurrently served connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,11 +58,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	ttsaCfg.MaxEvaluations = *budget
 
 	srv, err := tsajs.NewCoordinator(*listen, tsajs.CoordinatorConfig{
-		Params:      params,
-		BatchWindow: *window,
-		MaxBatch:    *batch,
-		TTSA:        &ttsaCfg,
-		Seed:        *seed,
+		Params:       params,
+		BatchWindow:  *window,
+		MaxBatch:     *batch,
+		TTSA:         &ttsaCfg,
+		Seed:         *seed,
+		ReadTimeout:  *readTimeout,
+		MaxLineBytes: *maxLine,
+		MaxConns:     *maxConns,
 	})
 	if err != nil {
 		return err
@@ -79,5 +86,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		"shutting down: %d epochs, %d requests (%d rejected), %d offloaded / %d local, mean batch %.1f, solve time %s\n",
 		stats.Epochs, stats.Requests, stats.Rejected, stats.Offloaded, stats.Local,
 		stats.MeanBatch, stats.TotalSolveTime.Round(time.Millisecond))
+	if stats.OversizeRequests+stats.ThrottledConns+stats.PanicsRecovered > 0 {
+		fmt.Fprintf(stdout, "hardening: %d oversize requests, %d throttled connections, %d panics recovered\n",
+			stats.OversizeRequests, stats.ThrottledConns, stats.PanicsRecovered)
+	}
 	return nil
 }

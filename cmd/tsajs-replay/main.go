@@ -41,6 +41,13 @@ func run(args []string, stdout io.Writer) error {
 		warm     = fs.Bool("warm", false, "warm-start each epoch from the previous decision")
 		budget   = fs.Int("budget", 5000, "TTSA evaluation budget per epoch")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
+
+		failProb     = fs.Float64("fail-prob", 0, "per-epoch edge-server failure probability (0 = no faults)")
+		recoverProb  = fs.Float64("recover-prob", 0.5, "per-epoch failed-server recovery probability")
+		coordFail    = fs.Float64("coord-fail-prob", 0, "per-epoch coordinator outage probability")
+		coordRecover = fs.Float64("coord-recover-prob", 0.5, "per-epoch coordinator recovery probability")
+		minUp        = fs.Int("min-up", 1, "minimum edge servers kept up per epoch")
+		faultSeed    = fs.Uint64("fault-seed", 7, "fault-plan seed (independent of -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +61,21 @@ func run(args []string, stdout io.Writer) error {
 	ttsaCfg := tsajs.DefaultConfig()
 	ttsaCfg.MaxEvaluations = *budget
 
+	var plan *tsajs.FaultPlan
+	if *failProb > 0 || *coordFail > 0 {
+		var err error
+		plan, err = tsajs.GenerateFaultPlan(tsajs.FaultConfig{
+			ServerFailProb:    *failProb,
+			ServerRecoverProb: *recoverProb,
+			CoordFailProb:     *coordFail,
+			CoordRecoverProb:  *coordRecover,
+			MinUp:             *minUp,
+		}, *servers, *epochs, tsajs.NewRand(*faultSeed))
+		if err != nil {
+			return err
+		}
+	}
+
 	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
 		Params:       params,
 		Epochs:       *epochs,
@@ -64,20 +86,29 @@ func run(args []string, stdout io.Writer) error {
 		WarmStart:    *warm,
 		TTSAConfig:   &ttsaCfg,
 		Seed:         *seed,
+		FaultPlan:    plan,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "%-6s %7s %9s %9s %10s %10s %9s %6s\n",
-		"epoch", "active", "offload", "utility", "delay[s]", "energy[J]", "solve", "warm")
+	fmt.Fprintf(stdout, "%-6s %7s %9s %9s %10s %10s %9s %6s %5s %6s\n",
+		"epoch", "active", "offload", "utility", "delay[s]", "energy[J]", "solve", "warm", "down", "coord")
 	for _, e := range res.Epochs {
-		fmt.Fprintf(stdout, "%-6d %7d %9d %9.3f %10.3f %10.3f %9s %6v\n",
+		coord := "up"
+		if e.CoordinatorDown {
+			coord = "DOWN"
+		}
+		fmt.Fprintf(stdout, "%-6d %7d %9d %9.3f %10.3f %10.3f %9s %6v %5d %6s\n",
 			e.Epoch, e.Active, e.Offloaded, e.Utility, e.MeanDelayS, e.MeanEnergyJ,
-			e.SolveTime.Round(1e5), e.WarmStarted)
+			e.SolveTime.Round(1e5), e.WarmStarted, e.DownServers, coord)
 	}
 	fmt.Fprintf(stdout, "\ntotals: utility=%.3f solve=%s evaluations=%d mean-active=%.1f mean-offloaded=%.1f\n",
 		res.TotalUtility, res.TotalSolveTime.Round(1e6), res.TotalEvaluations,
 		res.MeanActive, res.MeanOffloaded)
+	if plan != nil {
+		fmt.Fprintf(stdout, "faults: server-availability=%.3f coordinator-availability=%.3f degraded-epochs=%d evacuated=%d\n",
+			res.ServerAvailability, res.CoordinatorAvailability, res.DegradedEpochs, res.TotalEvacuated)
+	}
 	return nil
 }

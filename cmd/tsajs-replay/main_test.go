@@ -48,6 +48,24 @@ func TestReplayWarmStart(t *testing.T) {
 	}
 }
 
+func TestReplayFaultInjection(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-epochs", "8", "-users", "10", "-servers", "3", "-channels", "2",
+		"-budget", "800", "-warm", "-active", "0.9",
+		"-fail-prob", "0.4", "-coord-fail-prob", "0.3", "-fault-seed", "9",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"down", "coord", "faults:", "server-availability="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestReplayRejectsInvalid(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-epochs", "0"}, &sb); err == nil {

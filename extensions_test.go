@@ -93,6 +93,62 @@ func TestCoordinatorPublicAPI(t *testing.T) {
 	}
 }
 
+func TestResiliencePublicAPI(t *testing.T) {
+	// No coordinator listening: the resilient client must still answer
+	// with a valid degraded local decision.
+	cli, err := tsajs.DialCoordinatorResilient("127.0.0.1:1", tsajs.ResilienceConfig{
+		MaxAttempts: 1,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	resp, err := cli.Offload(ctx, tsajs.OffloadRequest{
+		UserID: "degraded",
+		Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 3e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Offload || resp.ExpectedDelayS <= 0 {
+		t.Errorf("want degraded local decision, got %+v", resp)
+	}
+}
+
+func TestFaultPlanPublicAPI(t *testing.T) {
+	p := tsajs.DefaultParams()
+	p.NumUsers = 10
+	p.NumServers = 3
+	p.NumChannels = 2
+	cfg := tsajs.DefaultConfig()
+	cfg.MaxEvaluations = 800
+	plan, err := tsajs.GenerateFaultPlan(tsajs.FaultConfig{
+		ServerFailProb: 0.4,
+		CoordFailProb:  0.3,
+	}, p.NumServers, 6, tsajs.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
+		Params:     p,
+		Epochs:     6,
+		ActiveProb: 0.8,
+		WarmStart:  true,
+		TTSAConfig: &cfg,
+		Seed:       4,
+		FaultPlan:  plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerAvailability <= 0 || res.ServerAvailability > 1 {
+		t.Errorf("server availability = %g", res.ServerAvailability)
+	}
+}
+
 func TestTTSAPublicTraceAndMultiStart(t *testing.T) {
 	sc := buildSmall(t)
 	cfg := tsajs.DefaultConfig()

@@ -25,6 +25,7 @@ type Assignment struct {
 	channelOf []int   // per-user subchannel index, or Local
 	occupant  [][]int // [server][channel] -> user index, or Local (free)
 	offloaded int     // number of offloading users
+	masked    []bool  // per-server capacity mask (nil = all available)
 }
 
 // New returns an all-local assignment for numUsers users, numServers
@@ -81,6 +82,61 @@ func (a *Assignment) SlotOf(u int) (server, channel int) {
 // Occupant returns the user holding slot (s, j), or Local if the slot is
 // free.
 func (a *Assignment) Occupant(s, j int) int { return a.occupant[s][j] }
+
+// MaskServer removes server s from the feasible capacity: its slots reject
+// new placements until UnmaskServer, and any current occupants are
+// evacuated to local execution. This is the failure hook of the
+// fault-tolerance layer — a crashed edge server keeps its index (so slot
+// coordinates stay stable across an outage) but contributes no capacity.
+// The evacuated users are returned in channel order.
+func (a *Assignment) MaskServer(s int) ([]int, error) {
+	if s < 0 || s >= a.Servers() {
+		return nil, fmt.Errorf("assign: server %d out of range [0,%d)", s, a.Servers())
+	}
+	var evacuated []int
+	for j, u := range a.occupant[s] {
+		if u != Local {
+			evacuated = append(evacuated, u)
+			a.serverOf[u] = Local
+			a.channelOf[u] = Local
+			a.occupant[s][j] = Local
+			a.offloaded--
+		}
+	}
+	if a.masked == nil {
+		a.masked = make([]bool, a.Servers())
+	}
+	a.masked[s] = true
+	return evacuated, nil
+}
+
+// UnmaskServer restores server s to the feasible capacity.
+func (a *Assignment) UnmaskServer(s int) error {
+	if s < 0 || s >= a.Servers() {
+		return fmt.Errorf("assign: server %d out of range [0,%d)", s, a.Servers())
+	}
+	if a.masked != nil {
+		a.masked[s] = false
+	}
+	return nil
+}
+
+// IsMasked reports whether server s is masked out of the capacity.
+func (a *Assignment) IsMasked(s int) bool {
+	return a.masked != nil && s >= 0 && s < len(a.masked) && a.masked[s]
+}
+
+// MaskedServers returns the indices of all masked servers in ascending
+// order, or nil when the full fleet is available.
+func (a *Assignment) MaskedServers() []int {
+	var out []int
+	for s := range a.masked {
+		if a.masked[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
 
 // SetLocal moves user u to local execution, freeing its slot if any.
 func (a *Assignment) SetLocal(u int) {
@@ -157,6 +213,9 @@ func (a *Assignment) Swap(u, v int) {
 // The offset parameter keeps this package free of randomness while letting
 // callers randomize which free slot is found.
 func (a *Assignment) FreeChannel(s, offset int) int {
+	if a.IsMasked(s) {
+		return Local
+	}
 	n := a.Channels()
 	if offset < 0 {
 		offset = -offset
@@ -199,6 +258,9 @@ func (a *Assignment) Clone() *Assignment {
 		occupant:  make([][]int, len(a.occupant)),
 		offloaded: a.offloaded,
 	}
+	if a.masked != nil {
+		c.masked = append([]bool(nil), a.masked...)
+	}
 	flat := make([]int, len(a.occupant)*a.Channels())
 	for s := range a.occupant {
 		row := flat[:a.Channels()]
@@ -221,6 +283,14 @@ func (a *Assignment) CopyFrom(src *Assignment) error {
 		copy(a.occupant[s], src.occupant[s])
 	}
 	a.offloaded = src.offloaded
+	switch {
+	case src.masked == nil:
+		a.masked = nil
+	case a.masked == nil:
+		a.masked = append([]bool(nil), src.masked...)
+	default:
+		copy(a.masked, src.masked)
+	}
 	return nil
 }
 
@@ -274,6 +344,16 @@ func (a *Assignment) Validate() error {
 	if offloaded != a.offloaded {
 		return fmt.Errorf("assign: offloaded count %d, recount %d", a.offloaded, offloaded)
 	}
+	for s := range a.masked {
+		if !a.masked[s] {
+			continue
+		}
+		for j, u := range a.occupant[s] {
+			if u != Local {
+				return fmt.Errorf("assign: masked server %d holds user %d on channel %d", s, u, j)
+			}
+		}
+	}
 	return nil
 }
 
@@ -299,6 +379,9 @@ func (a *Assignment) checkSlot(s, j int) error {
 	}
 	if j < 0 || j >= a.Channels() {
 		return fmt.Errorf("assign: channel %d out of range [0,%d)", j, a.Channels())
+	}
+	if a.IsMasked(s) {
+		return fmt.Errorf("assign: server %d is masked (failed/unavailable)", s)
 	}
 	return nil
 }

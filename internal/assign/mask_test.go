@@ -1,0 +1,135 @@
+package assign
+
+import "testing"
+
+func maskedAssignment(t *testing.T) *Assignment {
+	t.Helper()
+	a, err := New(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMaskServerEvacuatesOccupants(t *testing.T) {
+	a := maskedAssignment(t)
+	mustOffload(t, a, 0, 1, 0)
+	mustOffload(t, a, 1, 1, 1)
+	mustOffload(t, a, 2, 2, 0)
+
+	evac, err := a.MaskServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evac) != 2 || evac[0] != 0 || evac[1] != 1 {
+		t.Errorf("evacuated = %v, want [0 1]", evac)
+	}
+	if !a.IsLocal(0) || !a.IsLocal(1) {
+		t.Error("evacuated users not local")
+	}
+	if a.Offloaded() != 1 {
+		t.Errorf("offloaded = %d, want 1", a.Offloaded())
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("post-evacuation invariants broken: %v", err)
+	}
+}
+
+func TestMaskedServerRejectsPlacements(t *testing.T) {
+	a := maskedAssignment(t)
+	if _, err := a.MaskServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offload(0, 0, 0); err == nil {
+		t.Error("Offload onto masked server succeeded")
+	}
+	if _, err := a.Evict(0, 0, 1); err == nil {
+		t.Error("Evict onto masked server succeeded")
+	}
+	if j := a.FreeChannel(0, 0); j != Local {
+		t.Errorf("FreeChannel on masked server = %d, want Local", j)
+	}
+	// Other servers stay usable.
+	if err := a.Offload(0, 1, 0); err != nil {
+		t.Errorf("placement on unmasked server failed: %v", err)
+	}
+}
+
+func TestUnmaskRestoresCapacity(t *testing.T) {
+	a := maskedAssignment(t)
+	if _, err := a.MaskServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmaskServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsMasked(2) {
+		t.Error("server still masked after unmask")
+	}
+	if err := a.Offload(3, 2, 1); err != nil {
+		t.Errorf("placement after unmask failed: %v", err)
+	}
+}
+
+func TestMaskedServersListing(t *testing.T) {
+	a := maskedAssignment(t)
+	if got := a.MaskedServers(); got != nil {
+		t.Errorf("fresh assignment reports masks %v", got)
+	}
+	if _, err := a.MaskServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MaskServer(2); err != nil {
+		t.Fatal(err)
+	}
+	got := a.MaskedServers()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("masked servers = %v, want [0 2]", got)
+	}
+}
+
+func TestMaskSurvivesCloneAndCopyFrom(t *testing.T) {
+	a := maskedAssignment(t)
+	if _, err := a.MaskServer(1); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	if !c.IsMasked(1) {
+		t.Error("clone lost the mask")
+	}
+	if err := c.Offload(0, 1, 0); err == nil {
+		t.Error("clone accepted placement on masked server")
+	}
+
+	b := maskedAssignment(t)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsMasked(1) {
+		t.Error("CopyFrom lost the mask")
+	}
+	// Copying from an unmasked source clears the mask again.
+	fresh := maskedAssignment(t)
+	if err := b.CopyFrom(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsMasked(1) {
+		t.Error("CopyFrom from unmasked source kept a stale mask")
+	}
+}
+
+func TestMaskBoundsChecked(t *testing.T) {
+	a := maskedAssignment(t)
+	if _, err := a.MaskServer(-1); err == nil {
+		t.Error("negative server masked")
+	}
+	if _, err := a.MaskServer(3); err == nil {
+		t.Error("out-of-range server masked")
+	}
+	if err := a.UnmaskServer(9); err == nil {
+		t.Error("out-of-range server unmasked")
+	}
+	if a.IsMasked(-1) || a.IsMasked(99) {
+		t.Error("out-of-range IsMasked reported true")
+	}
+}

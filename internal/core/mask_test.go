@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+func maskScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.NumUsers = 12
+	p.NumServers = 4
+	p.NumChannels = 2
+	p.Seed = 17
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestScheduleFromRespectsMaskedServers is the evacuation path of the
+// fault-tolerance layer: a warm start whose assignment masks failed servers
+// must never place a user on them, across the whole annealing walk.
+func TestScheduleFromRespectsMaskedServers(t *testing.T) {
+	sc := maskScenario(t)
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 4000
+	ts, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	initial, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a prior epoch's decision with users on the failing server,
+	// then fail it: the occupants are evacuated and the mask applied.
+	if err := initial.Offload(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := initial.Offload(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := initial.Offload(2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	evac, err := initial.MaskServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evac) != 2 {
+		t.Fatalf("evacuated %v, want users 0 and 1", evac)
+	}
+
+	res, err := ts.ScheduleFrom(sc, simrand.New(99), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(sc, res); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < sc.U(); u++ {
+		if s, _ := res.Assignment.SlotOf(u); s == 2 {
+			t.Fatalf("user %d scheduled onto masked server 2", u)
+		}
+	}
+	if res.Assignment.Offloaded() == 0 {
+		t.Error("masked solve offloaded nobody; surviving servers unused")
+	}
+}
+
+// TestScheduleFromMaskedDeterministic pins the reproducibility contract
+// under degraded capacity.
+func TestScheduleFromMaskedDeterministic(t *testing.T) {
+	sc := maskScenario(t)
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 2000
+	ts, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func() *assign.Assignment {
+		initial, err := assign.New(sc.U(), sc.S(), sc.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := initial.MaskServer(1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ts.ScheduleFrom(sc, simrand.New(5), initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignment
+	}
+	if !solve().Equal(solve()) {
+		t.Error("same seed produced different masked decisions")
+	}
+}

@@ -4,21 +4,167 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/task"
 )
+
+// ErrClientClosed is returned by operations on a closed Client.
+var ErrClientClosed = errors.New("cran: client closed")
+
+// ErrCircuitOpen is returned (or degraded over, see
+// ResilienceConfig.DegradeLocal) when the client's circuit breaker is open:
+// enough consecutive transport failures occurred that the coordinator is
+// presumed down, and calls fail fast instead of burning their deadline on
+// doomed dials.
+var ErrCircuitOpen = errors.New("cran: circuit breaker open, coordinator presumed down")
+
+// ResilienceConfig tunes the client-side fault tolerance: retries with
+// exponential backoff and jitter, automatic reconnection, a circuit
+// breaker, and graceful degradation to a local-execution decision when the
+// coordinator cannot answer. The zero value enables conservative retrying
+// without degradation; see the field defaults.
+type ResilienceConfig struct {
+	// MaxAttempts bounds transport attempts per Offload call (each
+	// attempt redials if needed). Zero defaults to 3.
+	MaxAttempts int
+	// BackoffBase is the pre-retry wait before attempt 2; subsequent
+	// attempts double it up to BackoffMax. The actual wait is jittered
+	// uniformly over [base/2, base). Zero defaults are 25ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens the circuit after that many consecutive
+	// transport failures; while open, calls skip the network entirely
+	// until BreakerCooldown elapses, then a single probe is allowed
+	// through. Zero defaults to 5 failures / 2s cooldown; a negative
+	// threshold disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DegradeLocal turns transport failure into graceful degradation:
+	// instead of an error, Offload returns a valid local-execution
+	// decision (Offload=false, Degraded=true) with the device's Eq. 1
+	// cost, so the device never stalls on a dead coordinator.
+	DegradeLocal bool
+	// FLocalHz and Kappa are the device defaults used to price degraded
+	// local decisions when the request leaves them zero. Defaults mirror
+	// the paper's device: 1 GHz, κ=5e-27.
+	FLocalHz float64
+	Kappa    float64
+	// DialTimeout bounds each (re)connection attempt, further clipped by
+	// the call context. Zero defaults to 5s.
+	DialTimeout time.Duration
+	// Seed drives the backoff jitter. Zero defaults to 1.
+	Seed uint64
+	// Dialer overrides the transport dial, letting tests inject chaos
+	// wrappers or outage simulations. Nil uses TCP.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+func (rc ResilienceConfig) withDefaults() ResilienceConfig {
+	if rc.MaxAttempts == 0 {
+		rc.MaxAttempts = 3
+	}
+	if rc.BackoffBase == 0 {
+		rc.BackoffBase = 25 * time.Millisecond
+	}
+	if rc.BackoffMax == 0 {
+		rc.BackoffMax = time.Second
+	}
+	if rc.BreakerThreshold == 0 {
+		rc.BreakerThreshold = 5
+	}
+	if rc.BreakerCooldown == 0 {
+		rc.BreakerCooldown = 2 * time.Second
+	}
+	if rc.FLocalHz == 0 {
+		rc.FLocalHz = 1e9 // paper default f_u^local = 1 GHz
+	}
+	if rc.Kappa == 0 {
+		rc.Kappa = 5e-27 // paper default κ
+	}
+	if rc.DialTimeout == 0 {
+		rc.DialTimeout = 5 * time.Second
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 1
+	}
+	return rc
+}
+
+// Validate checks the configuration domain.
+func (rc ResilienceConfig) Validate() error {
+	switch {
+	case rc.MaxAttempts < 0:
+		return fmt.Errorf("cran: max attempts must be non-negative, got %d", rc.MaxAttempts)
+	case rc.BackoffBase < 0 || rc.BackoffMax < 0:
+		return fmt.Errorf("cran: backoff durations must be non-negative, got base=%s max=%s", rc.BackoffBase, rc.BackoffMax)
+	case rc.BreakerCooldown < 0:
+		return fmt.Errorf("cran: breaker cooldown must be non-negative, got %s", rc.BreakerCooldown)
+	case rc.FLocalHz < 0:
+		return fmt.Errorf("cran: local CPU frequency must be non-negative, got %g", rc.FLocalHz)
+	case rc.Kappa < 0:
+		return fmt.Errorf("cran: kappa must be non-negative, got %g", rc.Kappa)
+	case rc.DialTimeout < 0:
+		return fmt.Errorf("cran: dial timeout must be non-negative, got %s", rc.DialTimeout)
+	}
+	return nil
+}
 
 // Client is a mobile-device-side connection to a coordinator. A Client
 // serializes its own requests (one in flight per connection, matching the
 // server's in-order response guarantee); use one Client per simulated
 // device, concurrently from separate goroutines.
+//
+// The client reconnects automatically: a transport failure drops the
+// connection and the next attempt redials, so a coordinator restart is
+// invisible to callers beyond one retried exchange.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Reader
-	enc  *json.Encoder
+	addr string
+	rc   ResilienceConfig
+
+	mu     sync.Mutex // serializes exchanges; guards the fields below
+	rd     *bufio.Reader
+	enc    *json.Encoder
+	jitter *simrand.Source
+	fails  int // consecutive transport failures (breaker input)
+	openAt time.Time
+
+	connMu sync.Mutex // guards conn against concurrent Close
+	conn   net.Conn
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	closeErr  error
+}
+
+// NewClient returns a client for the coordinator at addr without dialing.
+// The first Offload (or Health) call connects lazily, so constructing a
+// client never fails on an unreachable coordinator — with DegradeLocal set
+// the device simply runs locally until the coordinator appears.
+func NewClient(addr string, rc ResilienceConfig) (*Client, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	rc = rc.withDefaults()
+	return &Client{
+		addr:     addr,
+		rc:       rc,
+		jitter:   simrand.New(rc.Seed),
+		closedCh: make(chan struct{}),
+	}, nil
+}
+
+// DialResilient returns a client with the full fault-tolerance stack on:
+// retries, reconnection, circuit breaking, and graceful degradation to
+// local execution. It does not require the coordinator to be reachable.
+func DialResilient(addr string, rc ResilienceConfig) (*Client, error) {
+	rc.DegradeLocal = true
+	return NewClient(addr, rc)
 }
 
 // Dial connects to a coordinator at addr.
@@ -26,45 +172,203 @@ func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, 5*time.Second)
 }
 
-// DialTimeout connects with a dial timeout.
+// DialTimeout connects with a dial timeout. Unlike NewClient it dials
+// eagerly and fails fast when the coordinator is unreachable, and the
+// returned client performs single attempts without retry or degradation —
+// the historical strict behavior.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	c, err := NewClient(addr, ResilienceConfig{
+		MaxAttempts:      1,
+		BreakerThreshold: -1,
+		DialTimeout:      timeout,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("cran: dial %s: %w", addr, err)
+		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		rd:   bufio.NewReader(conn),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c.mu.Lock()
+	err = c.ensureConn(ctx)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection. It is idempotent and safe to call
+// concurrently with in-flight Offload calls, which fail with
+// ErrClientClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.connMu.Lock()
+		if c.conn != nil {
+			c.closeErr = c.conn.Close()
+			c.conn = nil
+		}
+		c.connMu.Unlock()
+	})
+	return c.closeErr
+}
+
+func (c *Client) isClosed() bool {
+	select {
+	case <-c.closedCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // Offload submits one task and waits for the coordinator's decision. The
-// context bounds the whole exchange; a response whose Error field is set
-// is returned as a Go error.
+// context bounds the whole exchange including retries; a response whose
+// Error field is set is returned as a Go error (rejections are answers,
+// not faults — they are never retried or degraded over).
+//
+// When the configuration enables DegradeLocal and every attempt fails on
+// transport (coordinator down, connection reset, deadline pressure), the
+// call degrades gracefully: it returns a local-execution decision priced
+// with the device's Eq. 1 cost and Degraded=true, with a nil error.
 func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
 	req.Version = ProtocolVersion
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	deadline, ok := ctx.Deadline()
-	if ok {
-		if err := c.conn.SetDeadline(deadline); err != nil {
-			return OffloadResponse{}, fmt.Errorf("cran: set deadline: %w", err)
+	var lastErr error
+	for attempt := 0; attempt < c.rc.MaxAttempts; attempt++ {
+		if c.isClosed() {
+			lastErr = ErrClientClosed
+			break
 		}
-	} else {
-		if err := c.conn.SetDeadline(time.Time{}); err != nil {
-			return OffloadResponse{}, fmt.Errorf("cran: clear deadline: %w", err)
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("cran: %w", err)
+			}
+			break
 		}
+		if c.breakerOpen() {
+			lastErr = ErrCircuitOpen
+			break
+		}
+		if attempt > 0 && !c.sleepBackoff(ctx, attempt) {
+			break // context expired or client closed during backoff
+		}
+		resp, err := c.exchange(ctx, req)
+		if err == nil {
+			c.fails = 0
+			if resp.Error != "" {
+				return resp, fmt.Errorf("cran: coordinator rejected request: %s", resp.Error)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		c.recordFailure()
+		c.dropConn()
 	}
 
+	if c.rc.DegradeLocal && !c.isClosed() {
+		if resp, err := c.localDecision(req); err == nil {
+			return resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cran: no attempts configured")
+	}
+	return OffloadResponse{}, lastErr
+}
+
+// Health asks the coordinator for its health payload. Health performs a
+// single attempt and never degrades: its whole point is to observe the
+// coordinator, so a transport failure is the answer.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isClosed() {
+		return Health{}, ErrClientClosed
+	}
+	resp, err := c.exchange(ctx, OffloadRequest{Version: ProtocolVersion, Type: TypeHealth})
+	if err != nil {
+		c.recordFailure()
+		c.dropConn()
+		return Health{}, err
+	}
+	c.fails = 0
+	if resp.Error != "" {
+		return Health{}, fmt.Errorf("cran: coordinator rejected health probe: %s", resp.Error)
+	}
+	if resp.Health == nil {
+		return Health{}, errors.New("cran: coordinator returned no health payload")
+	}
+	return *resp.Health, nil
+}
+
+// ensureConn dials when no connection is live. Callers hold c.mu.
+func (c *Client) ensureConn(ctx context.Context) error {
+	c.connMu.Lock()
+	live := c.conn != nil
+	c.connMu.Unlock()
+	if live {
+		return nil
+	}
+	dial := c.rc.Dialer
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, c.rc.DialTimeout)
+	defer cancel()
+	conn, err := dial(dctx, c.addr)
+	if err != nil {
+		return fmt.Errorf("cran: dial %s: %w", c.addr, err)
+	}
+	c.connMu.Lock()
+	if c.isClosed() {
+		c.connMu.Unlock()
+		_ = conn.Close()
+		return ErrClientClosed
+	}
+	c.conn = conn
+	c.connMu.Unlock()
+	c.rd = bufio.NewReader(conn)
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+// dropConn closes and forgets the connection so the next attempt redials.
+// Callers hold c.mu.
+func (c *Client) dropConn() {
+	c.connMu.Lock()
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.connMu.Unlock()
+	c.rd = nil
+	c.enc = nil
+}
+
+// exchange performs one connect-send-receive round. Callers hold c.mu.
+func (c *Client) exchange(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
+	if err := c.ensureConn(ctx); err != nil {
+		return OffloadResponse{}, err
+	}
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn == nil {
+		return OffloadResponse{}, ErrClientClosed
+	}
+
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return OffloadResponse{}, fmt.Errorf("cran: set deadline: %w", err)
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return OffloadResponse{}, fmt.Errorf("cran: send: %w", err)
 	}
@@ -79,8 +383,78 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 	if err := json.Unmarshal(line, &resp); err != nil {
 		return OffloadResponse{}, fmt.Errorf("cran: decode response: %w", err)
 	}
-	if resp.Error != "" {
-		return resp, fmt.Errorf("cran: coordinator rejected request: %s", resp.Error)
-	}
 	return resp, nil
+}
+
+// breakerOpen reports whether the circuit is open, transitioning to
+// half-open (one probe allowed) once the cooldown has elapsed. Callers
+// hold c.mu.
+func (c *Client) breakerOpen() bool {
+	if c.rc.BreakerThreshold <= 0 || c.fails < c.rc.BreakerThreshold {
+		return false
+	}
+	if time.Now().After(c.openAt.Add(c.rc.BreakerCooldown)) {
+		c.fails = c.rc.BreakerThreshold - 1 // half-open: admit one probe
+		return false
+	}
+	return true
+}
+
+func (c *Client) recordFailure() {
+	c.fails++
+	if c.rc.BreakerThreshold > 0 && c.fails >= c.rc.BreakerThreshold {
+		c.openAt = time.Now()
+	}
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given retry
+// attempt, aborting early on context expiry or Close. It reports whether
+// the retry should proceed. Callers hold c.mu.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := c.rc.BackoffBase << (attempt - 1)
+	if d > c.rc.BackoffMax || d <= 0 {
+		d = c.rc.BackoffMax
+	}
+	// Full jitter over [d/2, d) decorrelates retry storms across devices.
+	d = d/2 + time.Duration(c.jitter.Float64()*float64(d/2))
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// localDecision synthesizes the graceful-degradation answer: execute
+// locally at the device's own cost (Eq. 1). The utility is zero because
+// J_u measures improvement over local execution (Eq. 10).
+func (c *Client) localDecision(req OffloadRequest) (OffloadResponse, error) {
+	f := req.FLocalHz
+	if f == 0 {
+		f = c.rc.FLocalHz
+	}
+	k := req.Kappa
+	if k == 0 {
+		k = c.rc.Kappa
+	}
+	lc, err := task.Local(req.Task, f, k)
+	if err != nil {
+		return OffloadResponse{}, err
+	}
+	return OffloadResponse{
+		Version:         ProtocolVersion,
+		UserID:          req.UserID,
+		Offload:         false,
+		ExpectedDelayS:  lc.TimeS,
+		ExpectedEnergyJ: lc.EnergyJ,
+		Utility:         0,
+		Degraded:        true,
+	}, nil
 }

@@ -22,10 +22,26 @@ import (
 // carrying a different version.
 const ProtocolVersion = 1
 
+// Request types carried in OffloadRequest.Type.
+const (
+	// TypeOffload (or an empty Type) submits a task for scheduling.
+	TypeOffload = "offload"
+	// TypeHealth asks the coordinator for its health and operational
+	// counters instead of a scheduling decision.
+	TypeHealth = "health"
+)
+
+// ErrRequestTooLarge is reported (as the response Error and by closing the
+// connection) when a request line exceeds the server's configured maximum.
+var ErrRequestTooLarge = errors.New("cran: request exceeds maximum line length")
+
 // OffloadRequest is a client's submission of one task for scheduling.
 type OffloadRequest struct {
 	// Version must equal ProtocolVersion.
 	Version int `json:"version"`
+	// Type selects the request kind: TypeOffload (default when empty) or
+	// TypeHealth.
+	Type string `json:"type,omitempty"`
 	// UserID identifies the requester (opaque to the coordinator).
 	UserID string `json:"userId"`
 	// Pos is the user's reported position in network coordinates (km).
@@ -47,6 +63,14 @@ type OffloadRequest struct {
 func (r OffloadRequest) Validate() error {
 	if r.Version != ProtocolVersion {
 		return fmt.Errorf("cran: protocol version %d, want %d", r.Version, ProtocolVersion)
+	}
+	switch r.Type {
+	case "", TypeOffload:
+	case TypeHealth:
+		// Health probes carry no task and need no identity.
+		return nil
+	default:
+		return fmt.Errorf("cran: unknown request type %q", r.Type)
 	}
 	if r.UserID == "" {
 		return errors.New("cran: empty user id")
@@ -76,4 +100,21 @@ type OffloadResponse struct {
 	Utility float64 `json:"utility"`
 	// Epoch is the scheduling round that served this request.
 	Epoch uint64 `json:"epoch"`
+	// Degraded marks a decision the client synthesized locally (Eq. 1
+	// cost, no offloading) because the coordinator was unreachable or
+	// over deadline. The coordinator never sets it.
+	Degraded bool `json:"degraded,omitempty"`
+	// Health carries the coordinator's health payload for TypeHealth
+	// requests; nil for scheduling responses.
+	Health *Health `json:"health,omitempty"`
+}
+
+// Health is the coordinator's answer to a TypeHealth request.
+type Health struct {
+	// UptimeS is seconds since the coordinator started.
+	UptimeS float64 `json:"uptimeS"`
+	// ActiveConns is the number of connections currently served.
+	ActiveConns int `json:"activeConns"`
+	// Stats is a snapshot of the operational counters.
+	Stats Stats `json:"stats"`
 }

@@ -3,6 +3,7 @@ package cran
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -36,6 +37,23 @@ type ServerConfig struct {
 	TTSA *core.Config
 	// Seed drives the coordinator's channel estimator and search.
 	Seed uint64
+	// ReadTimeout is the per-connection idle read deadline: a connection
+	// that sends nothing for this long is closed, so dead or wedged
+	// clients cannot pin server resources. Zero defaults to 5 minutes;
+	// negative disables the deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes caps one request line on the wire. Oversize requests
+	// are answered with ErrRequestTooLarge and the connection is closed
+	// (the line boundary is lost, so the stream cannot be resynced).
+	// Zero defaults to 1 MiB.
+	MaxLineBytes int
+	// MaxConns caps concurrently served connections; connections beyond
+	// the cap are answered with an error response and closed immediately.
+	// Zero defaults to 256.
+	MaxConns int
+	// Listener, when non-nil, serves on the provided listener instead of
+	// binding addr — the hook tests use to interpose chaos wrappers.
+	Listener net.Listener
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -47,6 +65,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.MaxLineBytes == 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
 	}
 	return c
 }
@@ -63,6 +90,12 @@ func (c ServerConfig) Validate() error {
 	if cc.MaxBatch <= 0 {
 		return fmt.Errorf("cran: max batch must be positive, got %d", cc.MaxBatch)
 	}
+	if cc.MaxLineBytes < 1024 {
+		return fmt.Errorf("cran: max line length must be at least 1024 bytes, got %d", cc.MaxLineBytes)
+	}
+	if cc.MaxConns < 0 {
+		return fmt.Errorf("cran: max connections must be non-negative, got %d", cc.MaxConns)
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -77,13 +110,14 @@ type pending struct {
 
 // Server is a running coordinator. Create with NewServer, stop with Close.
 type Server struct {
-	cfg    ServerConfig
-	ttsa   *core.TTSA
-	ln     net.Listener
-	sites  []geom.Point
-	rng    *simrand.Source
-	epoch  uint64
-	submit chan pending
+	cfg     ServerConfig
+	ttsa    *core.TTSA
+	ln      net.Listener
+	sites   []geom.Point
+	rng     *simrand.Source
+	epoch   uint64
+	submit  chan pending
+	started time.Time
 
 	quit  chan struct{}
 	wg    sync.WaitGroup
@@ -109,19 +143,23 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cran: listen: %w", err)
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("cran: listen: %w", err)
+		}
 	}
 	s := &Server{
-		cfg:    cfg,
-		ttsa:   ttsa,
-		ln:     ln,
-		sites:  geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
-		rng:    simrand.New(cfg.Seed),
-		submit: make(chan pending),
-		quit:   make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		ttsa:    ttsa,
+		ln:      ln,
+		sites:   geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
+		rng:     simrand.New(cfg.Seed),
+		submit:  make(chan pending),
+		quit:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -159,19 +197,43 @@ func (s *Server) isClosed() bool {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			if s.isClosed() {
 				return
 			}
-			continue // transient accept error
+			// Transient accept error (EMFILE, chaos wrapper, ...): back
+			// off so a persistent failure cannot spin the loop hot.
+			select {
+			case <-time.After(backoff):
+			case <-s.quit:
+				return
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.stats.connThrottled()
+			// Tell the client why before hanging up, so it can degrade
+			// rather than diagnose a silent close.
+			_ = json.NewEncoder(conn).Encode(OffloadResponse{
+				Version: ProtocolVersion,
+				Error:   "coordinator at connection capacity",
+			})
+			_ = conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -181,19 +243,39 @@ func (s *Server) acceptLoop() {
 }
 
 // serveConn reads newline-delimited requests and writes one response per
-// request, in order.
+// request, in order. A panic while serving one connection is confined to
+// that connection: it is recovered, counted, and the connection closed.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panicRecovered()
+		}
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 64*1024), 1<<20)
+	initial := 64 * 1024
+	if initial > s.cfg.MaxLineBytes {
+		initial = s.cfg.MaxLineBytes
+	}
+	scanner.Buffer(make([]byte, initial), s.cfg.MaxLineBytes)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if !scanner.Scan() {
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				// The scanner lost the line boundary, so answer with the
+				// typed limit error and drop the connection.
+				s.stats.oversizeRequest()
+				_ = enc.Encode(OffloadResponse{Version: ProtocolVersion, Error: ErrRequestTooLarge.Error()})
+			}
+			return
+		}
 		line := scanner.Bytes()
 		if len(line) == 0 {
 			continue
@@ -220,6 +302,9 @@ func (s *Server) handle(line []byte) OffloadResponse {
 		s.stats.requestRejected()
 		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: err.Error()}
 	}
+	if req.Type == TypeHealth {
+		return s.handleHealth(req)
+	}
 	p := pending{req: req, reply: make(chan OffloadResponse, 1)}
 	select {
 	case s.submit <- p:
@@ -233,6 +318,30 @@ func (s *Server) handle(line []byte) OffloadResponse {
 		return resp
 	case <-s.quit:
 		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+	}
+}
+
+// handleHealth answers a TypeHealth probe with uptime and a counter
+// snapshot. A shutting-down coordinator reports an error instead, so probes
+// cannot mistake a dying server for a healthy one.
+func (s *Server) handleHealth(req OffloadRequest) OffloadResponse {
+	select {
+	case <-s.quit:
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+	default:
+	}
+	s.mu.Lock()
+	active := len(s.conns)
+	s.mu.Unlock()
+	s.stats.healthServed()
+	return OffloadResponse{
+		Version: ProtocolVersion,
+		UserID:  req.UserID,
+		Health: &Health{
+			UptimeS:     time.Since(s.started).Seconds(),
+			ActiveConns: active,
+			Stats:       s.stats.snapshot(),
+		},
 	}
 }
 
@@ -266,7 +375,7 @@ func (s *Server) batchLoop() {
 	)
 	flush := func() {
 		if len(batch) > 0 {
-			s.scheduleEpoch(batch)
+			s.scheduleEpochSafe(batch)
 			batch = nil
 		}
 		if timer != nil {
@@ -293,16 +402,23 @@ func (s *Server) batchLoop() {
 			flush()
 		case <-s.quit:
 			// Fail whatever is still queued.
-			for _, p := range batch {
-				p.reply <- OffloadResponse{
-					Version: ProtocolVersion,
-					UserID:  p.req.UserID,
-					Error:   "coordinator shutting down",
-				}
-			}
+			s.failBatch(batch, "coordinator shutting down")
 			return
 		}
 	}
+}
+
+// scheduleEpochSafe confines a panic in the scheduling path to the epoch
+// that caused it: the batch is failed with an error response and the batch
+// loop keeps serving subsequent epochs.
+func (s *Server) scheduleEpochSafe(batch []pending) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panicRecovered()
+			s.failBatch(batch, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	s.scheduleEpoch(batch)
 }
 
 // scheduleEpoch builds the epoch scenario from the batched requests,
@@ -327,7 +443,7 @@ func (s *Server) scheduleEpoch(batch []pending) {
 	s.stats.epochScheduled(len(batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
 	for i, p := range batch {
 		m := rep.Users[i]
-		p.reply <- OffloadResponse{
+		reply(p, OffloadResponse{
 			Version:         ProtocolVersion,
 			UserID:          p.req.UserID,
 			Offload:         m.Offloaded,
@@ -338,14 +454,24 @@ func (s *Server) scheduleEpoch(batch []pending) {
 			ExpectedEnergyJ: m.EnergyJ,
 			Utility:         m.Utility,
 			Epoch:           s.epoch,
-		}
+		})
 	}
 }
 
 func (s *Server) failBatch(batch []pending, msg string) {
 	for _, p := range batch {
 		s.stats.requestRejected()
-		p.reply <- OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg}
+		reply(p, OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg})
+	}
+}
+
+// reply delivers a response without blocking: the channel has capacity one
+// and each request is answered at most once, but if a recovered panic left
+// part of a batch already answered, failBatch must not deadlock on it.
+func reply(p pending, resp OffloadResponse) {
+	select {
+	case p.reply <- resp:
+	default:
 	}
 }
 

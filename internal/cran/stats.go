@@ -23,6 +23,14 @@ type Stats struct {
 	TotalSolveTime time.Duration `json:"totalSolveTime"`
 	// UtilitySum aggregates achieved epoch utilities.
 	UtilitySum float64 `json:"utilitySum"`
+	// HealthChecks counts TypeHealth probes answered.
+	HealthChecks uint64 `json:"healthChecks"`
+	// PanicsRecovered counts panics confined to one connection or epoch.
+	PanicsRecovered uint64 `json:"panicsRecovered"`
+	// OversizeRequests counts lines rejected for exceeding MaxLineBytes.
+	OversizeRequests uint64 `json:"oversizeRequests"`
+	// ThrottledConns counts connections refused at the MaxConns cap.
+	ThrottledConns uint64 `json:"throttledConns"`
 }
 
 // statsCollector accumulates counters behind a mutex; the batch loop and
@@ -57,6 +65,30 @@ func (c *statsCollector) epochScheduled(batch, offloaded int, solve time.Duratio
 	c.s.MeanBatch += (float64(batch) - c.s.MeanBatch) / float64(c.s.Epochs)
 	c.s.TotalSolveTime += solve
 	c.s.UtilitySum += utility
+}
+
+func (c *statsCollector) healthServed() {
+	c.mu.Lock()
+	c.s.HealthChecks++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) panicRecovered() {
+	c.mu.Lock()
+	c.s.PanicsRecovered++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) oversizeRequest() {
+	c.mu.Lock()
+	c.s.OversizeRequests++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) connThrottled() {
+	c.mu.Lock()
+	c.s.ThrottledConns++
+	c.mu.Unlock()
 }
 
 func (c *statsCollector) snapshot() Stats {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/tsajs/tsajs/internal/assign"
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/mobility"
 	"github.com/tsajs/tsajs/internal/objective"
@@ -53,6 +54,13 @@ type Config struct {
 	// Seed drives the entire simulation (mobility, arrivals, channel,
 	// search).
 	Seed uint64
+	// FaultPlan, when non-nil, injects the plan's failures into the run:
+	// epochs where the coordinator is down degrade every active user to
+	// local execution, and failed edge servers are masked out of the search
+	// with their warm-started occupants evacuated. The plan must cover
+	// Params.NumServers servers; epochs beyond the plan's horizon are fully
+	// available. Requires the built-in TTSA scheduler.
+	FaultPlan *faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +91,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dynamic: active probability must be in [0,1], got %g", c.ActiveProb)
 	case c.WarmStart && c.Scheduler != nil:
 		return errors.New("dynamic: warm start requires the built-in TTSA scheduler")
+	case c.FaultPlan != nil && c.Scheduler != nil:
+		return errors.New("dynamic: fault plans require the built-in TTSA scheduler (server masking)")
+	case c.FaultPlan != nil && c.FaultPlan.Servers() != c.Params.NumServers:
+		return fmt.Errorf("dynamic: fault plan covers %d servers, network has %d",
+			c.FaultPlan.Servers(), c.Params.NumServers)
 	}
 	return nil
 }
@@ -104,6 +117,14 @@ type EpochMetrics struct {
 	SolveTime   time.Duration `json:"solveTime"`
 	// WarmStarted reports whether the epoch reused the previous decision.
 	WarmStarted bool `json:"warmStarted"`
+	// DownServers is the number of failed edge servers this epoch;
+	// Evacuated counts warm-started users displaced from them.
+	DownServers int `json:"downServers,omitempty"`
+	Evacuated   int `json:"evacuated,omitempty"`
+	// CoordinatorDown marks a degraded epoch: the coordinator was
+	// unreachable, so every active user executed locally (Eq. 1 cost,
+	// zero utility) without any scheduling.
+	CoordinatorDown bool `json:"coordinatorDown,omitempty"`
 }
 
 // Result aggregates a full run.
@@ -116,6 +137,15 @@ type Result struct {
 	TotalEvaluations int           `json:"totalEvaluations"`
 	MeanActive       float64       `json:"meanActive"`
 	MeanOffloaded    float64       `json:"meanOffloaded"`
+	// Availability metrics summarize the injected faults: the mean
+	// fraction of edge servers up, the fraction of epochs with a reachable
+	// coordinator, degraded (coordinator-down) epoch count, and the total
+	// number of warm-start evacuations. Without a fault plan the
+	// availabilities are 1 and the counts 0.
+	ServerAvailability      float64 `json:"serverAvailability"`
+	CoordinatorAvailability float64 `json:"coordinatorAvailability"`
+	DegradedEpochs          int     `json:"degradedEpochs"`
+	TotalEvacuated          int     `json:"totalEvacuated"`
 }
 
 // Run executes the online simulation.
@@ -172,6 +202,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		// Look up this epoch's injected faults.
+		var down []int
+		coordDown := false
+		if cfg.FaultPlan != nil {
+			down = cfg.FaultPlan.DownServers(epoch)
+			coordDown = cfg.FaultPlan.CoordinatorDown(epoch)
+		}
+
 		// Draw this epoch's active set.
 		var active []int
 		for u := 0; u < cfg.Params.NumUsers; u++ {
@@ -180,25 +218,79 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if len(active) == 0 {
-			res.Epochs = append(res.Epochs, EpochMetrics{Epoch: epoch})
+			res.Epochs = append(res.Epochs, EpochMetrics{
+				Epoch:           epoch,
+				DownServers:     len(down),
+				CoordinatorDown: coordDown,
+			})
 			continue
 		}
 
+		// The scenario is built even for degraded epochs so the task and
+		// channel draw sequences stay aligned with a fault-free run of the
+		// same seed.
 		sc, err := buildEpochScenario(cfg.Params, sites, pop, active, taskRNG, radioRNG)
 		if err != nil {
 			return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
 		}
 
+		if coordDown {
+			// Coordinator outage: graceful degradation. Every active user
+			// runs its task locally (the device-side fallback of
+			// cran.DialResilient); no scheduling happens and the previous
+			// decision is lost with the coordinator's state.
+			allLocal, err := assign.New(sc.U(), sc.S(), sc.N())
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+			}
+			rep := objective.New(sc).Evaluate(allLocal)
+			for i := range prevSlots {
+				prevSlots[i] = [2]int{assign.Local, assign.Local}
+			}
+			res.Epochs = append(res.Epochs, EpochMetrics{
+				Epoch:           epoch,
+				Active:          len(active),
+				Utility:         rep.SystemUtility,
+				MeanDelayS:      rep.MeanDelayS,
+				MeanEnergyJ:     rep.MeanEnergyJ,
+				DownServers:     len(down),
+				CoordinatorDown: true,
+			})
+			continue
+		}
+
 		var solveRes solver.Result
 		warm := false
+		evacuated := 0
 		epochRNG := solveRNG.Derive(uint64(epoch))
+		var initial *assign.Assignment
 		if cfg.WarmStart && ttsa != nil {
-			if initial := warmStart(sc, active, prevSlots); initial != nil {
-				solveRes, err = ttsa.ScheduleFrom(sc, epochRNG, initial)
-				warm = true
-			} else {
-				solveRes, err = sched.Schedule(sc, epochRNG)
+			initial = warmStart(sc, active, prevSlots)
+			warm = initial != nil
+		}
+		if len(down) > 0 {
+			// Mask the failed servers out of the search; warm-started
+			// occupants are evacuated to local execution and re-placed by
+			// the solve.
+			if initial == nil {
+				initial, err = assign.New(sc.U(), sc.S(), sc.N())
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+				}
 			}
+			for _, s := range down {
+				if s >= sc.S() {
+					continue
+				}
+				evac, err := initial.MaskServer(s)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
+				}
+				evacuated += len(evac)
+			}
+		}
+		if initial != nil {
+			solveRes, err = ttsa.ScheduleFrom(sc, epochRNG, initial)
 		} else {
 			solveRes, err = sched.Schedule(sc, epochRNG)
 		}
@@ -229,6 +321,8 @@ func Run(cfg Config) (*Result, error) {
 			Evaluations: solveRes.Evaluations,
 			SolveTime:   solveRes.Elapsed,
 			WarmStarted: warm,
+			DownServers: len(down),
+			Evacuated:   evacuated,
 		})
 	}
 
@@ -238,10 +332,19 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalEvaluations += e.Evaluations
 		res.MeanActive += float64(e.Active)
 		res.MeanOffloaded += float64(e.Offloaded)
+		res.ServerAvailability += 1 - float64(e.DownServers)/float64(cfg.Params.NumServers)
+		if e.CoordinatorDown {
+			res.DegradedEpochs++
+		} else {
+			res.CoordinatorAvailability++
+		}
+		res.TotalEvacuated += e.Evacuated
 	}
 	n := float64(len(res.Epochs))
 	res.MeanActive /= n
 	res.MeanOffloaded /= n
+	res.ServerAvailability /= n
+	res.CoordinatorAvailability /= n
 	return res, nil
 }
 

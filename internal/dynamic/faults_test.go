@@ -1,0 +1,167 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/faults"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func testPlan(t *testing.T, cfg Config, fc faults.Config) *faults.Plan {
+	t.Helper()
+	plan, err := faults.Generate(fc, cfg.Params.NumServers, cfg.Epochs, simrand.New(303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	cfg := testConfig()
+	plan := testPlan(t, cfg, faults.Config{ServerFailProb: 0.3})
+
+	bad := cfg
+	bad.FaultPlan = plan
+	bad.Scheduler = &baseline.Greedy{}
+	if _, err := Run(bad); err == nil {
+		t.Error("fault plan with custom scheduler accepted")
+	}
+
+	bad = cfg
+	bad.FaultPlan = plan
+	bad.Params.NumServers = cfg.Params.NumServers + 1
+	if _, err := Run(bad); err == nil {
+		t.Error("fault plan with mismatched server count accepted")
+	}
+}
+
+// TestFaultRunNeverUsesDownServers is the evacuation contract end to end: no
+// epoch's metrics may count offloads during a coordinator outage, and (via
+// solver verification inside Run) masked servers never host users.
+func TestFaultRunNeverUsesDownServers(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmStart = true
+	cfg.Epochs = 8
+	cfg.ActiveProb = 0.9
+	cfg.FaultPlan = testPlan(t, cfg, faults.Config{
+		ServerFailProb:    0.35,
+		ServerRecoverProb: 0.4,
+		CoordFailProb:     0.3,
+		CoordRecoverProb:  0.6,
+	})
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDown, sawCoordDown := false, false
+	for _, e := range res.Epochs {
+		if e.DownServers != len(cfg.FaultPlan.DownServers(e.Epoch)) {
+			t.Errorf("epoch %d reports %d down servers, plan says %d",
+				e.Epoch, e.DownServers, len(cfg.FaultPlan.DownServers(e.Epoch)))
+		}
+		if e.DownServers > 0 {
+			sawDown = true
+		}
+		if e.CoordinatorDown {
+			sawCoordDown = true
+			if e.Offloaded != 0 || e.Utility != 0 {
+				t.Errorf("degraded epoch %d still offloaded: %+v", e.Epoch, e)
+			}
+			if e.Active > 0 && (e.MeanDelayS <= 0 || e.MeanEnergyJ <= 0) {
+				t.Errorf("degraded epoch %d missing local Eq. 1 costs: %+v", e.Epoch, e)
+			}
+		}
+	}
+	if !sawDown || !sawCoordDown {
+		t.Fatalf("plan injected no faults (down=%v coord=%v); raise probabilities", sawDown, sawCoordDown)
+	}
+	if res.ServerAvailability >= 1 || res.ServerAvailability <= 0 {
+		t.Errorf("server availability = %g, want in (0,1) under failures", res.ServerAvailability)
+	}
+	if res.CoordinatorAvailability >= 1 || res.DegradedEpochs == 0 {
+		t.Errorf("coordinator availability metrics inconsistent: %+v", res)
+	}
+}
+
+// TestFaultRunBitReproducible is the acceptance criterion: two runs with the
+// same seed and the same fault plan are identical modulo wall-clock time.
+func TestFaultRunBitReproducible(t *testing.T) {
+	run := func() *Result {
+		cfg := testConfig()
+		cfg.WarmStart = true
+		cfg.FaultPlan = testPlan(t, cfg, faults.Config{
+			ServerFailProb:   0.25,
+			CoordFailProb:    0.2,
+			CoordRecoverProb: 0.5,
+		})
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.TotalSolveTime = 0
+		for i := range res.Epochs {
+			res.Epochs[i].SolveTime = 0
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed and plan diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestNoFaultPlanMatchesBaseline guards against regressions in the
+// fault-free path: a nil plan must leave the simulation exactly as before.
+func TestNoFaultPlanMatchesBaseline(t *testing.T) {
+	plain, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ServerAvailability != 1 || plain.CoordinatorAvailability != 1 {
+		t.Errorf("fault-free run reports availability %g / %g, want 1 / 1",
+			plain.ServerAvailability, plain.CoordinatorAvailability)
+	}
+	if plain.DegradedEpochs != 0 || plain.TotalEvacuated != 0 {
+		t.Errorf("fault-free run reports faults: %+v", plain)
+	}
+
+	// An all-up plan (zero fail probabilities) must reproduce the nil-plan
+	// run draw for draw.
+	cfg := testConfig()
+	cfg.FaultPlan = testPlan(t, cfg, faults.Config{})
+	allUp, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalUtility != allUp.TotalUtility || plain.TotalEvaluations != allUp.TotalEvaluations {
+		t.Error("all-up fault plan perturbed the fault-free simulation")
+	}
+}
+
+// TestEvacuationUnderWarmStart forces the displaced-users path: a server
+// that hosted warm-started users fails the next epoch and the metrics must
+// count the evacuation.
+func TestEvacuationUnderWarmStart(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmStart = true
+	cfg.Epochs = 10
+	cfg.ActiveProb = 1 // everyone active: warm starts always carry slots
+	cfg.FaultPlan = testPlan(t, cfg, faults.Config{
+		ServerFailProb:    0.4,
+		ServerRecoverProb: 0.5,
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvacuated == 0 {
+		t.Error("no evacuations despite failures under a fully-loaded warm start")
+	}
+	for _, e := range res.Epochs {
+		if e.Evacuated > 0 && e.DownServers == 0 {
+			t.Errorf("epoch %d evacuated %d users with no failures", e.Epoch, e.Evacuated)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// ErrInjectedReset is returned by chaos connections that decided to reset.
+// It is distinguishable from real transport errors so tests can assert a
+// fault was the injected one.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// ChaosConfig parametrizes a chaos connection. Each probability is rolled
+// independently per Read/Write call, in a fixed order (reset, delay, then
+// the write-only faults), from a deterministic seeded source.
+type ChaosConfig struct {
+	// Seed drives the fault rolls; zero defaults to 1.
+	Seed uint64
+	// ResetProb closes the connection and fails the operation with
+	// ErrInjectedReset. Applies to both reads and writes.
+	ResetProb float64
+	// DelayProb sleeps for Delay before the operation proceeds.
+	DelayProb float64
+	// Delay is the injected latency (default 5ms when DelayProb > 0).
+	Delay time.Duration
+	// DropWriteProb discards the write entirely while reporting success —
+	// the peer never sees the bytes.
+	DropWriteProb float64
+	// TruncateWriteProb forwards only the first half of the buffer while
+	// reporting a full write — a torn message on the wire.
+	TruncateWriteProb float64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delay == 0 {
+		c.Delay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// chaosConn wraps a net.Conn with fault injection.
+type chaosConn struct {
+	net.Conn
+	cfg ChaosConfig
+
+	mu     sync.Mutex
+	rng    *simrand.Source
+	broken bool
+}
+
+// WrapConn wraps conn with deterministic fault injection.
+func WrapConn(conn net.Conn, cfg ChaosConfig) net.Conn {
+	cfg = cfg.withDefaults()
+	return &chaosConn{Conn: conn, cfg: cfg, rng: simrand.New(cfg.Seed)}
+}
+
+// roll draws the fault decisions for one operation under the lock, then
+// releases it so an injected delay does not serialize the peer direction.
+func (c *chaosConn) roll(write bool) (reset, delay, drop, trunc bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return true, false, false, false
+	}
+	if c.cfg.ResetProb > 0 && c.rng.Float64() < c.cfg.ResetProb {
+		c.broken = true
+		return true, false, false, false
+	}
+	delay = c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb
+	if write {
+		drop = c.cfg.DropWriteProb > 0 && c.rng.Float64() < c.cfg.DropWriteProb
+		trunc = c.cfg.TruncateWriteProb > 0 && c.rng.Float64() < c.cfg.TruncateWriteProb
+	}
+	return reset, delay, drop, trunc
+}
+
+func (c *chaosConn) Read(b []byte) (int, error) {
+	reset, delay, _, _ := c.roll(false)
+	if reset {
+		_ = c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if delay {
+		time.Sleep(c.cfg.Delay)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	reset, delay, drop, trunc := c.roll(true)
+	if reset {
+		_ = c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if delay {
+		time.Sleep(c.cfg.Delay)
+	}
+	if drop {
+		return len(b), nil
+	}
+	if trunc {
+		if _, err := c.Conn.Write(b[:len(b)/2]); err != nil {
+			return 0, err
+		}
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// chaosListener wraps accepted connections with per-connection chaos.
+type chaosListener struct {
+	net.Listener
+	cfg ChaosConfig
+
+	mu   sync.Mutex
+	rng  *simrand.Source
+	next uint64
+}
+
+// WrapListener returns a listener whose accepted connections are wrapped
+// with fault injection. Each connection derives its own fault stream from
+// the listener seed and an accept counter, so connection i always sees the
+// same faults regardless of accept timing.
+func WrapListener(ln net.Listener, cfg ChaosConfig) net.Listener {
+	cfg = cfg.withDefaults()
+	return &chaosListener{Listener: ln, cfg: cfg, rng: simrand.New(cfg.Seed)}
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.next++
+	connCfg := l.cfg
+	connCfg.Seed = l.rng.Derive(l.next).Seed()
+	l.mu.Unlock()
+	return WrapConn(conn, connCfg), nil
+}

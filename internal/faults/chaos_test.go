@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a chaos-wrapped client end and the raw server end of an
+// in-memory connection.
+func pipePair(cfg ChaosConfig) (chaotic, peer net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, cfg), b
+}
+
+func TestCleanConnPassesTraffic(t *testing.T) {
+	c, peer := pipePair(ChaosConfig{})
+	defer c.Close()
+	defer peer.Close()
+
+	go func() {
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(peer, buf); err != nil {
+			return
+		}
+		_, _ = peer.Write(bytes.ToUpper(buf))
+	}()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Errorf("echoed %q", buf)
+	}
+}
+
+func TestResetInjectsTypedError(t *testing.T) {
+	c, peer := pipePair(ChaosConfig{ResetProb: 1})
+	defer peer.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write error = %v, want ErrInjectedReset", err)
+	}
+	// The connection stays broken afterwards.
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after reset = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestDropWriteDiscardsSilently(t *testing.T) {
+	c, peer := pipePair(ChaosConfig{DropWriteProb: 1})
+	defer c.Close()
+	defer peer.Close()
+
+	n, err := c.Write([]byte("vanish"))
+	if err != nil || n != 6 {
+		t.Fatalf("dropped write reported (%d, %v), want (6, nil)", n, err)
+	}
+	// Nothing must arrive at the peer.
+	_ = peer.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := peer.Read(make([]byte, 16)); err == nil {
+		t.Errorf("peer received %d bytes from a dropped write", n)
+	}
+}
+
+func TestTruncateWriteSendsPrefix(t *testing.T) {
+	c, peer := pipePair(ChaosConfig{TruncateWriteProb: 1})
+	defer c.Close()
+	defer peer.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_ = peer.SetReadDeadline(time.Now().Add(time.Second))
+		n, _ := peer.Read(buf)
+		done <- buf[:n]
+	}()
+	msg := []byte("12345678")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("truncated write reported (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	got := <-done
+	if string(got) != "1234" {
+		t.Errorf("peer received %q, want the first half %q", got, "1234")
+	}
+}
+
+func TestDelayInjectsLatency(t *testing.T) {
+	c, peer := pipePair(ChaosConfig{DelayProb: 1, Delay: 30 * time.Millisecond})
+	defer c.Close()
+	defer peer.Close()
+
+	go func() { _, _ = io.Copy(io.Discard, peer) }()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("write completed in %s, before the injected delay", elapsed)
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	// With a 50% reset probability, the index of the first failing write is
+	// a pure function of the seed.
+	firstFailure := func(seed uint64) int {
+		a, b := net.Pipe()
+		defer b.Close()
+		go func() { _, _ = io.Copy(io.Discard, b) }()
+		c := WrapConn(a, ChaosConfig{Seed: seed, ResetProb: 0.5})
+		for i := 0; i < 64; i++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				return i
+			}
+		}
+		return -1
+	}
+	if a, b := firstFailure(11), firstFailure(11); a != b {
+		t.Errorf("same seed failed at writes %d and %d", a, b)
+	}
+	seen := map[int]bool{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		seen[firstFailure(seed)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("eight seeds all failed at the same write; rolls look non-random")
+	}
+}
+
+func TestWrapListenerWrapsAcceptedConns(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, ChaosConfig{ResetProb: 1})
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+			t.Errorf("accepted conn read = %v, want ErrInjectedReset", err)
+		}
+	}()
+
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	wg.Wait()
+}

@@ -1,0 +1,208 @@
+// Package faults provides deterministic, seedable fault injection for the
+// TSAJS system: pre-computed fault plans (edge-server outages and
+// recoveries plus coordinator unavailability windows) consumed by the
+// dynamic simulator, and a chaos net.Conn/net.Listener wrapper that
+// injects drops, delays, resets and truncated writes into the cran wire
+// protocol for resilience tests.
+//
+// Everything in this package is driven by simrand sources, so a fault
+// schedule is a pure function of its seed: two runs with the same seed see
+// bit-identical failures, which keeps experiments under churn reproducible.
+package faults
+
+import (
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// Config parametrizes fault-plan generation. Server and coordinator
+// availability evolve as independent two-state Markov chains: an up entity
+// fails with FailProb per epoch, a down entity recovers with RecoverProb
+// per epoch (so mean downtime is 1/RecoverProb epochs).
+type Config struct {
+	// ServerFailProb is the per-server per-epoch probability of an up
+	// server going down.
+	ServerFailProb float64 `json:"serverFailProb"`
+	// ServerRecoverProb is the per-server per-epoch probability of a down
+	// server coming back. Zero defaults to 0.5 (mean downtime 2 epochs).
+	ServerRecoverProb float64 `json:"serverRecoverProb"`
+	// CoordFailProb and CoordRecoverProb drive the coordinator's
+	// unavailability windows the same way.
+	CoordFailProb    float64 `json:"coordFailProb"`
+	CoordRecoverProb float64 `json:"coordRecoverProb"`
+	// MinUp is the minimum number of servers forced up every epoch (the
+	// lowest-index down servers are revived deterministically). Zero
+	// defaults to 1, so the network never loses all capacity.
+	MinUp int `json:"minUp"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.ServerRecoverProb == 0 {
+		c.ServerRecoverProb = 0.5
+	}
+	if c.CoordRecoverProb == 0 {
+		c.CoordRecoverProb = 0.5
+	}
+	if c.MinUp == 0 {
+		c.MinUp = 1
+	}
+	return c
+}
+
+// Validate checks the configuration domain.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		p    float64
+	}{
+		{"server fail probability", c.ServerFailProb},
+		{"server recover probability", c.ServerRecoverProb},
+		{"coordinator fail probability", c.CoordFailProb},
+		{"coordinator recover probability", c.CoordRecoverProb},
+	}
+	for _, pr := range probs {
+		if pr.p < 0 || pr.p > 1 {
+			return fmt.Errorf("faults: %s must be in [0,1], got %g", pr.name, pr.p)
+		}
+	}
+	if c.MinUp < 0 {
+		return fmt.Errorf("faults: minimum up servers must be non-negative, got %d", c.MinUp)
+	}
+	return nil
+}
+
+// Plan is a pre-computed fault schedule over a fixed horizon. Epochs
+// outside the generated range report everything available, so a plan can
+// be safely probed past its horizon.
+type Plan struct {
+	servers int
+	epochs  int
+	// serverDown[e][s] reports server s down during epoch e.
+	serverDown [][]bool
+	coordDown  []bool
+}
+
+// Generate draws a fault plan for `servers` servers over `epochs` epochs.
+// The plan is a pure function of cfg and the rng state.
+func Generate(cfg Config, servers, epochs int, rng *simrand.Source) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if servers <= 0 {
+		return nil, fmt.Errorf("faults: server count must be positive, got %d", servers)
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("faults: epoch count must be positive, got %d", epochs)
+	}
+	cfg = cfg.withDefaults()
+	minUp := cfg.MinUp
+	if minUp > servers {
+		minUp = servers
+	}
+
+	p := &Plan{
+		servers:    servers,
+		epochs:     epochs,
+		serverDown: make([][]bool, epochs),
+		coordDown:  make([]bool, epochs),
+	}
+	down := make([]bool, servers)
+	coordDown := false
+	for e := 0; e < epochs; e++ {
+		up := 0
+		for s := 0; s < servers; s++ {
+			if down[s] {
+				if rng.Float64() < cfg.ServerRecoverProb {
+					down[s] = false
+				}
+			} else if rng.Float64() < cfg.ServerFailProb {
+				down[s] = true
+			}
+			if !down[s] {
+				up++
+			}
+		}
+		// Enforce the floor deterministically: revive lowest indices first.
+		for s := 0; up < minUp && s < servers; s++ {
+			if down[s] {
+				down[s] = false
+				up++
+			}
+		}
+		if coordDown {
+			if rng.Float64() < cfg.CoordRecoverProb {
+				coordDown = false
+			}
+		} else if rng.Float64() < cfg.CoordFailProb {
+			coordDown = true
+		}
+		p.serverDown[e] = append([]bool(nil), down...)
+		p.coordDown[e] = coordDown
+	}
+	return p, nil
+}
+
+// Servers returns the number of servers the plan covers.
+func (p *Plan) Servers() int { return p.servers }
+
+// Epochs returns the plan horizon.
+func (p *Plan) Epochs() int { return p.epochs }
+
+// ServerDown reports whether server s is down during epoch e. Out-of-range
+// queries report available.
+func (p *Plan) ServerDown(e, s int) bool {
+	if e < 0 || e >= p.epochs || s < 0 || s >= p.servers {
+		return false
+	}
+	return p.serverDown[e][s]
+}
+
+// DownServers returns the indices of the servers down during epoch e, in
+// ascending order.
+func (p *Plan) DownServers(e int) []int {
+	if e < 0 || e >= p.epochs {
+		return nil
+	}
+	var out []int
+	for s, d := range p.serverDown[e] {
+		if d {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CoordinatorDown reports whether the coordinator is unavailable during
+// epoch e.
+func (p *Plan) CoordinatorDown(e int) bool {
+	if e < 0 || e >= p.epochs {
+		return false
+	}
+	return p.coordDown[e]
+}
+
+// Availability returns the fraction of server-epochs the fleet was up.
+func (p *Plan) Availability() float64 {
+	up := 0
+	for e := range p.serverDown {
+		for _, d := range p.serverDown[e] {
+			if !d {
+				up++
+			}
+		}
+	}
+	return float64(up) / float64(p.servers*p.epochs)
+}
+
+// CoordinatorAvailability returns the fraction of epochs the coordinator
+// was reachable.
+func (p *Plan) CoordinatorAvailability() float64 {
+	up := 0
+	for _, d := range p.coordDown {
+		if !d {
+			up++
+		}
+	}
+	return float64(up) / float64(p.epochs)
+}

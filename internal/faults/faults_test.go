@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{ServerFailProb: 0.1, CoordFailProb: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{ServerFailProb: -0.1},
+		{ServerFailProb: 1.5},
+		{ServerRecoverProb: 2},
+		{CoordFailProb: -1},
+		{CoordRecoverProb: 1.01},
+		{MinUp: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestGenerateRejectsBadDimensions(t *testing.T) {
+	if _, err := Generate(Config{}, 0, 10, simrand.New(1)); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := Generate(Config{}, 3, 0, simrand.New(1)); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, err := Generate(Config{ServerFailProb: 2}, 3, 10, simrand.New(1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{ServerFailProb: 0.3, ServerRecoverProb: 0.4, CoordFailProb: 0.2, CoordRecoverProb: 0.5}
+	a, err := Generate(cfg, 5, 40, simrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 5, 40, simrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 40; e++ {
+		if a.CoordinatorDown(e) != b.CoordinatorDown(e) {
+			t.Fatalf("epoch %d: coordinator state differs", e)
+		}
+		for s := 0; s < 5; s++ {
+			if a.ServerDown(e, s) != b.ServerDown(e, s) {
+				t.Fatalf("epoch %d server %d: state differs", e, s)
+			}
+		}
+	}
+	c, err := Generate(cfg, 5, 40, simrand.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for e := 0; e < 40 && same; e++ {
+		for s := 0; s < 5; s++ {
+			if a.ServerDown(e, s) != c.ServerDown(e, s) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestMinUpEnforced(t *testing.T) {
+	// Certain failure, impossible recovery: without the floor everything
+	// would be down from epoch 0 on.
+	cfg := Config{ServerFailProb: 1, ServerRecoverProb: 1e-12, MinUp: 2}
+	p, err := Generate(cfg, 4, 25, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < p.Epochs(); e++ {
+		up := p.Servers() - len(p.DownServers(e))
+		if up < 2 {
+			t.Fatalf("epoch %d: only %d servers up, floor is 2", e, up)
+		}
+	}
+	if p.Availability() >= 1 {
+		t.Error("plan with certain failures reports full availability")
+	}
+}
+
+func TestMinUpDefaultsToOne(t *testing.T) {
+	cfg := Config{ServerFailProb: 1, ServerRecoverProb: 1e-12}
+	p, err := Generate(cfg, 3, 10, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < p.Epochs(); e++ {
+		if len(p.DownServers(e)) >= p.Servers() {
+			t.Fatalf("epoch %d: all servers down despite default floor", e)
+		}
+	}
+}
+
+func TestMinUpClampedToFleet(t *testing.T) {
+	p, err := Generate(Config{ServerFailProb: 1, MinUp: 10}, 3, 5, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Availability(); got != 1 {
+		t.Errorf("floor above fleet size should pin everything up, availability = %g", got)
+	}
+}
+
+func TestOutOfRangeQueriesReportAvailable(t *testing.T) {
+	p, err := Generate(Config{ServerFailProb: 1, ServerRecoverProb: 1e-12, CoordFailProb: 1, CoordRecoverProb: 1e-12}, 2, 3, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ServerDown(-1, 0) || p.ServerDown(3, 0) || p.ServerDown(0, 5) {
+		t.Error("out-of-range server query reported down")
+	}
+	if p.CoordinatorDown(-1) || p.CoordinatorDown(99) {
+		t.Error("out-of-range coordinator query reported down")
+	}
+	if p.DownServers(99) != nil {
+		t.Error("out-of-range DownServers returned entries")
+	}
+}
+
+func TestCoordinatorWindows(t *testing.T) {
+	// Always-failing coordinator with certain recovery alternates windows;
+	// just assert both states occur and availability is consistent.
+	cfg := Config{CoordFailProb: 0.5, CoordRecoverProb: 0.5}
+	p, err := Generate(cfg, 1, 200, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs := 0
+	for e := 0; e < p.Epochs(); e++ {
+		if p.CoordinatorDown(e) {
+			downs++
+		}
+	}
+	if downs == 0 || downs == p.Epochs() {
+		t.Fatalf("coordinator chain degenerate: %d/%d down", downs, p.Epochs())
+	}
+	want := float64(p.Epochs()-downs) / float64(p.Epochs())
+	if got := p.CoordinatorAvailability(); got != want {
+		t.Errorf("coordinator availability = %g, want %g", got, want)
+	}
+}

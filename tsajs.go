@@ -9,6 +9,7 @@ import (
 	"github.com/tsajs/tsajs/internal/cran"
 	"github.com/tsajs/tsajs/internal/dynamic"
 	"github.com/tsajs/tsajs/internal/experiment"
+	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
 	"github.com/tsajs/tsajs/internal/report"
@@ -90,6 +91,23 @@ type (
 	// messages.
 	OffloadRequest  = cran.OffloadRequest
 	OffloadResponse = cran.OffloadResponse
+	// ResilienceConfig tunes the client-side fault tolerance: retries
+	// with jittered exponential backoff, automatic reconnection, a
+	// circuit breaker, and graceful degradation to local execution.
+	ResilienceConfig = cran.ResilienceConfig
+	// CoordinatorHealth is the coordinator's answer to a health probe.
+	CoordinatorHealth = cran.Health
+	// CoordinatorStats snapshots a coordinator's operational counters.
+	CoordinatorStats = cran.Stats
+	// FaultConfig parametrizes seedable fault-plan generation (two-state
+	// Markov outages per edge server plus coordinator windows).
+	FaultConfig = faults.Config
+	// FaultPlan is a deterministic epoch-by-epoch failure schedule,
+	// consumable by DynamicConfig.FaultPlan.
+	FaultPlan = faults.Plan
+	// ChaosConfig parametrizes fault-injecting connection wrappers for
+	// protocol-level resilience testing.
+	ChaosConfig = faults.ChaosConfig
 )
 
 // Local marks a user as executing its task on the device in an Assignment.
@@ -176,8 +194,30 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	return cran.NewServer(addr, cfg)
 }
 
-// DialCoordinator connects a device-side client to a coordinator.
+// DialCoordinator connects a device-side client to a coordinator. The
+// returned client is strict: it fails fast when the coordinator is
+// unreachable and surfaces every transport error. Use
+// DialCoordinatorResilient for the fault-tolerant client.
 func DialCoordinator(addr string) (*CoordinatorClient, error) { return cran.Dial(addr) }
+
+// DialCoordinatorResilient returns a device-side client with the full
+// fault-tolerance stack on: retries with jittered exponential backoff,
+// automatic reconnection, a circuit breaker, and graceful degradation —
+// when the coordinator cannot answer, Offload returns a valid
+// local-execution decision (Eq. 1 cost, Degraded=true) instead of an
+// error. Constructing the client never requires the coordinator to be up.
+func DialCoordinatorResilient(addr string, rc ResilienceConfig) (*CoordinatorClient, error) {
+	return cran.DialResilient(addr, rc)
+}
+
+// GenerateFaultPlan draws a deterministic failure schedule: each edge
+// server follows a two-state Markov chain (up→down with cfg.ServerFailProb,
+// down→up with cfg.ServerRecoverProb), and the coordinator gets its own
+// unavailability windows. The same cfg, sizes and rng seed always produce
+// the same plan.
+func GenerateFaultPlan(cfg FaultConfig, servers, epochs int, rng *Rand) (*FaultPlan, error) {
+	return faults.Generate(cfg, servers, epochs, rng)
+}
 
 // SummarizeTrace condenses a traced TTSA run for convergence analysis.
 func SummarizeTrace(trace []TracePoint) (TraceSummary, error) {
