@@ -17,9 +17,48 @@ verify:
 	go test -run='^$$' -fuzz=FuzzUnmarshalScenario -fuzztime=5s ./internal/scenario
 	go test -run='^$$' -fuzz=FuzzHandleRequest -fuzztime=5s ./internal/cran
 
+# Benchmark recording: run the full suite with -benchmem and persist a
+# machine-readable BENCH_<date>.json (ns/op, B/op, allocs/op, and custom
+# metrics such as solver utility) for regression tracking. Promote a run to
+# the committed baseline with:
+#   cp BENCH_<date>.json results/bench/BENCH_baseline.json
+BENCH_DATE := $(shell date +%Y%m%d)
+BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
+
+# The recorded set covers the perf kernels and solver end-to-end runs; the
+# BenchmarkFigure* experiment reproductions are excluded (they are sweeps,
+# not performance probes, and take minutes each).
+PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental)
+
 .PHONY: bench
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run='^$$' -bench='$(PERF_BENCH)' -benchmem -benchtime=1s . ./internal/objective | tee /tmp/tsajs_bench_raw.txt
+	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_raw.txt -o $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# Fast regression gate for CI and pre-merge runs: a short fixed-iteration
+# pass over the hot-path kernels compared against the committed baseline.
+# Iterations are pinned (-benchtime=50x) so the solver-utility metric — a
+# mean over seeds 1..N — is bit-comparable across runs. Timing is ignored
+# (shared runners are too noisy for short runs); what must never regress is
+# the allocation count of the allocation-free kernels and the per-seed
+# solver utility.
+QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30)$$
+
+.PHONY: bench-check
+bench-check:
+	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . > /tmp/tsajs_bench_quick.txt
+	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_quick.txt -o /tmp/tsajs_bench_quick.json
+	go run ./cmd/tsajs-bench compare -skip-time \
+	  -baseline results/bench/BENCH_baseline.json -current /tmp/tsajs_bench_quick.json
+
+# Re-record the committed quick-gate baseline (run on a quiet machine after
+# an intentional performance change, then commit the result).
+.PHONY: bench-baseline
+bench-baseline:
+	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . > /tmp/tsajs_bench_quick.txt
+	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_quick.txt \
+	  -notes "quick-gate baseline (fixed 50x iterations)" -o results/bench/BENCH_baseline.json
 
 .PHONY: fmt
 fmt:

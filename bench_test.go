@@ -379,7 +379,9 @@ func BenchmarkCoordinatorRoundTrip(b *testing.B) {
 }
 
 // BenchmarkIncrementalTTSA compares the full TTSA solve with and without
-// the delta evaluator (Config.Incremental).
+// the delta evaluator (Config.Incremental), and measures the steady-state
+// Preview/Accept path in isolation — the latter must report 0 allocs/op
+// (all scratch is owned by the Incremental and reused across calls).
 func BenchmarkIncrementalTTSA(b *testing.B) {
 	for _, variant := range []struct {
 		name        string
@@ -398,4 +400,32 @@ func BenchmarkIncrementalTTSA(b *testing.B) {
 			solverBench(b, ts, 50)
 		})
 	}
+	b.Run("preview", func(b *testing.B) {
+		sc := benchScenario(b, 50)
+		rng := simrand.New(5)
+		cur, err := solver.RandomFeasible(sc, rng, 0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc := objective.NewIncremental(sc, cur)
+		moves := core.NeighborhoodFor(core.DefaultConfig())
+		cand := cur.Clone()
+		// Warm the reusable scratch (first Preview may size pool buffers).
+		moves.Apply(cand, rng)
+		inc.Preview(cand)
+		inc.Accept(cand)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			moves.Apply(cand, rng)
+			if inc.Preview(cand) > inc.Utility() {
+				inc.Accept(cand)
+			} else if err := cand.CopyFrom(cur); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.CopyFrom(cand); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,9 +44,36 @@ func run(args []string, stdout io.Writer) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir   = fs.String("o", "", "write each panel to a file in this directory instead of stdout")
 		specFile = fs.String("spec", "", "run a custom sweep from this JSON specification instead of a paper figure")
+		cpu      = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		mem      = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		defer func() {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tsajs-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tsajs-sim: memprofile:", err)
+			}
+		}()
 	}
 
 	if *specFile != "" {

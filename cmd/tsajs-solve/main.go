@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/tsajs/tsajs"
@@ -34,9 +36,36 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		seed   = fs.Uint64("seed", 1, "random seed for stochastic schedulers")
 		detail = fs.Bool("detail", false, "emit the full per-user report as JSON")
 		trace  = fs.String("trace", "", "write the TTSA convergence trace as CSV to this file (tsajs scheme only)")
+		cpu    = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		mem    = fs.String("memprofile", "", "write a heap profile after the solve to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		defer func() {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tsajs-solve: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tsajs-solve: memprofile:", err)
+			}
+		}()
 	}
 
 	var blob []byte

@@ -30,45 +30,53 @@ type Allocation struct {
 // together with Λ(X, F*).
 func KKT(sc *scenario.Scenario, a *assign.Assignment) (Allocation, float64) {
 	fus := make([]float64, sc.U())
-	lambda := kktInto(sc, a, fus)
+	lambda := kktInto(sc, a, fus, make([]float64, sc.S()))
 	return Allocation{FUs: fus}, lambda
 }
 
 // Lambda computes only Λ(X, F*) (Eq. 23) without materializing the
 // allocation. This is the hot path of every utility evaluation.
 func Lambda(sc *scenario.Scenario, a *assign.Assignment) float64 {
-	return kktInto(sc, a, nil)
+	var stack [64]float64
+	if sc.S() <= len(stack) {
+		return LambdaInto(sc, a, stack[:sc.S()])
+	}
+	return LambdaInto(sc, a, make([]float64, sc.S()))
+}
+
+// LambdaInto computes Λ(X, F*) using the caller-provided per-server
+// scratch buffer (len ≥ S; contents are overwritten). Callers evaluating
+// in a loop pass a reused buffer so the computation is allocation-free at
+// any fleet size.
+func LambdaInto(sc *scenario.Scenario, a *assign.Assignment, sums []float64) float64 {
+	return kktInto(sc, a, nil, sums[:sc.S()])
 }
 
 // kktInto computes Λ and, when fus is non-nil, fills the per-user rates.
 // It iterates users rather than the S×N slot matrix so the cost scales
-// with the offloaded population, not the network size.
-func kktInto(sc *scenario.Scenario, a *assign.Assignment, fus []float64) float64 {
-	var stack [64]float64
-	sums := stack[:0]
-	if sc.S() <= len(stack) {
-		sums = stack[:sc.S()]
-	} else {
-		sums = make([]float64, sc.S())
-	}
+// with the offloaded population, not the network size, and reads the
+// scenario's flat √η and f_s tables instead of copying Derived structs.
+func kktInto(sc *scenario.Scenario, a *assign.Assignment, fus, sums []float64) float64 {
+	sqrtEta := sc.SqrtEtas()
+	serverF := sc.ServerFreqs()
 	for i := range sums {
 		sums[i] = 0
 	}
 	for u := 0; u < sc.U(); u++ {
 		if s, _ := a.SlotOf(u); s != assign.Local {
-			sums[s] += sc.Derived(u).SqrtEta
+			sums[s] += sqrtEta[u]
 		}
 	}
 	total := 0.0
 	for s, sumSqrt := range sums {
 		if sumSqrt > 0 {
-			total += sumSqrt * sumSqrt / sc.Servers[s].FHz
+			total += sumSqrt * sumSqrt / serverF[s]
 		}
 	}
 	if fus != nil {
 		for u := 0; u < sc.U(); u++ {
 			if s, _ := a.SlotOf(u); s != assign.Local {
-				fus[u] = sc.Servers[s].FHz * sc.Derived(u).SqrtEta / sums[s]
+				fus[u] = serverF[s] * sqrtEta[u] / sums[s]
 			}
 		}
 	}

@@ -40,13 +40,14 @@ func (g *Greedy) Schedule(sc *scenario.Scenario, _ *simrand.Source) (solver.Resu
 	// favoring those with the strongest signal strength").
 	order := make([]int, sc.U())
 	bestGain := make([]float64, sc.U())
+	gains := sc.Gain.Data()
+	stride := sc.S() * sc.N()
 	for u := range order {
 		order[u] = u
-		for s := 0; s < sc.S(); s++ {
-			for j := 0; j < sc.N(); j++ {
-				if h := sc.Gain[u][s][j]; h > bestGain[u] {
-					bestGain[u] = h
-				}
+		// One contiguous sweep over the user's S·N gain block.
+		for _, h := range gains[u*stride : (u+1)*stride] {
+			if h > bestGain[u] {
+				bestGain[u] = h
 			}
 		}
 	}
@@ -59,11 +60,12 @@ func (g *Greedy) Schedule(sc *scenario.Scenario, _ *simrand.Source) (solver.Resu
 	for _, u := range order {
 		bs, bj, bh := assign.Local, assign.Local, 0.0
 		for s := 0; s < sc.S(); s++ {
-			for j := 0; j < sc.N(); j++ {
+			row := sc.Gain.Row(u, s)
+			for j, h := range row {
 				if a.Occupant(s, j) != assign.Local {
 					continue
 				}
-				if h := sc.Gain[u][s][j]; h > bh {
+				if h > bh {
 					bs, bj, bh = s, j, h
 				}
 			}

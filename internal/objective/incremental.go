@@ -2,6 +2,7 @@ package objective
 
 import (
 	"math"
+	"math/bits"
 
 	"github.com/tsajs/tsajs/internal/assign"
 	"github.com/tsajs/tsajs/internal/scenario"
@@ -18,16 +19,29 @@ import (
 // A candidate differing in the slots of a few users (every Algorithm 2
 // move touches at most three) re-prices only the subchannels those users
 // left or joined — the expensive part of the objective, since each member
-// costs a log2 — while everything else comes from the cache.
+// costs a log — while everything else comes from the cache.
 //
 // Usage: Preview(cand) returns the candidate's utility; Accept(cand)
 // commits the previewed candidate as the new tracked decision. Preview is
 // pure: rejecting a candidate requires no cleanup. The arithmetic is
 // identical to Evaluator.SystemUtility up to floating-point summation
-// order.
+// order. All scratch (the per-server delta vector, the dirty-channel
+// bitset, and the pending member lists) is owned by the Incremental and
+// reused across calls, so steady-state Preview/Accept perform zero
+// allocations at any subchannel count.
 type Incremental struct {
 	sc       *scenario.Scenario
 	txPowers []float64
+
+	// Flat scenario tables (shared, read-only; see scenario.Finalize).
+	recv      []float64
+	commW     []float64
+	gainConst []float64
+	sqrtEta   []float64
+	serverF   []float64
+	noiseW    float64
+	numCh     int
+	stride    int
 
 	cur      *assign.Assignment // private copy of the tracked decision
 	members  [][]slot           // per channel
@@ -36,7 +50,12 @@ type Incremental struct {
 	gain     float64            // Σ gainConst over offloaded users
 	utility  float64
 
-	// pending holds Preview's results for Accept.
+	deltaSum []float64 // per-server Σ√η delta scratch, zeroed each Preview
+	dirty    []uint64  // dirty-channel bitset scratch, ⌈N/64⌉ words
+
+	// pending holds Preview's results for Accept. members is a pool of
+	// reusable slot buffers indexed in lockstep with channels; Accept
+	// swaps them with the committed lists so neither side re-allocates.
 	pending struct {
 		valid    bool
 		utility  float64
@@ -53,18 +72,28 @@ type Incremental struct {
 // assignment is not retained).
 func NewIncremental(sc *scenario.Scenario, a *assign.Assignment) *Incremental {
 	inc := &Incremental{
-		sc:       sc,
-		txPowers: sc.TxPowers(),
-		cur:      a.Clone(),
-		members:  make([][]slot, sc.N()),
-		commCost: make([]float64, sc.N()),
-		sumSqrt:  make([]float64, sc.S()),
+		sc:        sc,
+		txPowers:  sc.TxPowers(),
+		recv:      sc.RecvPower(),
+		commW:     sc.CommWeights(),
+		gainConst: sc.GainConsts(),
+		sqrtEta:   sc.SqrtEtas(),
+		serverF:   sc.ServerFreqs(),
+		noiseW:    sc.NoiseW,
+		numCh:     sc.N(),
+		stride:    sc.S() * sc.N(),
+		cur:       a.Clone(),
+		members:   make([][]slot, sc.N()),
+		commCost:  make([]float64, sc.N()),
+		sumSqrt:   make([]float64, sc.S()),
+		deltaSum:  make([]float64, sc.S()),
+		dirty:     make([]uint64, (sc.N()+63)/64),
 	}
 	for u := 0; u < sc.U(); u++ {
 		if s, j := a.SlotOf(u); s != assign.Local {
 			inc.members[j] = append(inc.members[j], slot{u: u, s: s})
-			inc.sumSqrt[s] += sc.Derived(u).SqrtEta
-			inc.gain += sc.Derived(u).GainConst
+			inc.sumSqrt[s] += inc.sqrtEta[u]
+			inc.gain += inc.gainConst[u]
 		}
 	}
 	for j := range inc.members {
@@ -85,26 +114,20 @@ func (inc *Incremental) Preview(cand *assign.Assignment) float64 {
 	p := &inc.pending
 	p.valid = false
 	p.channels = p.channels[:0]
-	p.members = p.members[:0]
 	p.costs = p.costs[:0]
 	p.servers = p.servers[:0]
 	p.sums = p.sums[:0]
 	p.gain = inc.gain
 
-	// Diff the decisions user by user (O(U), two array reads each).
-	dirtyCh := 0 // bitmask for N <= 64, else fallback slice search
-	var dirtyChBig map[int]bool
-	if inc.sc.N() > 64 {
-		dirtyChBig = make(map[int]bool)
+	// Diff the decisions user by user (O(U), two array reads each). Dirty
+	// channels land in the reusable bitset regardless of N — no map
+	// fallback for wide-channel scenarios.
+	for i := range inc.dirty {
+		inc.dirty[i] = 0
 	}
-	markCh := func(j int) {
-		if dirtyChBig != nil {
-			dirtyChBig[j] = true
-		} else {
-			dirtyCh |= 1 << uint(j)
-		}
+	for i := range inc.deltaSum {
+		inc.deltaSum[i] = 0
 	}
-	deltaSum := inc.ensureSumDelta()
 	changed := false
 	for u := 0; u < inc.sc.U(); u++ {
 		oldS, oldJ := inc.cur.SlotOf(u)
@@ -113,16 +136,15 @@ func (inc *Incremental) Preview(cand *assign.Assignment) float64 {
 			continue
 		}
 		changed = true
-		d := inc.sc.Derived(u)
 		if oldS != assign.Local {
-			markCh(oldJ)
-			deltaSum[oldS] -= d.SqrtEta
-			p.gain -= d.GainConst
+			inc.dirty[uint(oldJ)>>6] |= 1 << (uint(oldJ) & 63)
+			inc.deltaSum[oldS] -= inc.sqrtEta[u]
+			p.gain -= inc.gainConst[u]
 		}
 		if newS != assign.Local {
-			markCh(newJ)
-			deltaSum[newS] += d.SqrtEta
-			p.gain += d.GainConst
+			inc.dirty[uint(newJ)>>6] |= 1 << (uint(newJ) & 63)
+			inc.deltaSum[newS] += inc.sqrtEta[u]
+			p.gain += inc.gainConst[u]
 		}
 	}
 	if !changed {
@@ -131,31 +153,29 @@ func (inc *Incremental) Preview(cand *assign.Assignment) float64 {
 		return inc.utility
 	}
 
-	// Re-price dirty channels from the candidate's membership.
+	// Re-price dirty channels from the candidate's membership, in
+	// ascending channel order.
 	comm := inc.totalComm()
-	collect := func(j int) {
-		newMembers := inc.rebuildChannel(cand, j)
-		cost := inc.channelCost(j, newMembers)
-		comm += cost - inc.commCost[j]
-		p.channels = append(p.channels, j)
-		p.members = append(p.members, newMembers)
-		p.costs = append(p.costs, cost)
-	}
-	if dirtyChBig != nil {
-		for j := range dirtyChBig {
-			collect(j)
-		}
-	} else {
-		for j := 0; dirtyCh != 0; j, dirtyCh = j+1, dirtyCh>>1 {
-			if dirtyCh&1 != 0 {
-				collect(j)
+	for w, word := range inc.dirty {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			n := len(p.channels)
+			p.channels = append(p.channels, j)
+			if n == len(p.members) {
+				p.members = append(p.members, nil)
 			}
+			newMembers := inc.rebuildChannel(cand, j, p.members[n][:0])
+			p.members[n] = newMembers
+			cost := inc.channelCost(j, newMembers)
+			comm += cost - inc.commCost[j]
+			p.costs = append(p.costs, cost)
 		}
 	}
 
 	// Update Λ for dirty servers in O(dirty).
 	lambda := inc.totalLambda()
-	for s, ds := range deltaSum {
+	for s, ds := range inc.deltaSum {
 		if ds == 0 {
 			continue
 		}
@@ -164,8 +184,7 @@ func (inc *Incremental) Preview(cand *assign.Assignment) float64 {
 		if newSum < 0 {
 			newSum = 0 // guard accumulated rounding on an emptied server
 		}
-		fs := inc.sc.Servers[s].FHz
-		lambda += (newSum*newSum - oldSum*oldSum) / fs
+		lambda += (newSum*newSum - oldSum*oldSum) / inc.serverF[s]
 		p.servers = append(p.servers, s)
 		p.sums = append(p.sums, newSum)
 	}
@@ -185,7 +204,10 @@ func (inc *Incremental) Accept(cand *assign.Assignment) {
 		return
 	}
 	for i, j := range p.channels {
-		inc.members[j] = p.members[i]
+		// Swap rather than assign: the pending pool keeps the displaced
+		// buffer for reuse, and the committed list never aliases scratch
+		// that the next Preview would overwrite.
+		inc.members[j], p.members[i] = p.members[i], inc.members[j]
 		inc.commCost[j] = p.costs[i]
 	}
 	for i, s := range p.servers {
@@ -200,15 +222,15 @@ func (inc *Incremental) Accept(cand *assign.Assignment) {
 	p.valid = false
 }
 
-// rebuildChannel lists channel j's members under cand, reusing scratch.
-func (inc *Incremental) rebuildChannel(cand *assign.Assignment, j int) []slot {
-	out := make([]slot, 0, len(inc.members[j])+2)
+// rebuildChannel lists channel j's members under cand into buf (reused
+// caller scratch; may be nil on first use of a pool entry).
+func (inc *Incremental) rebuildChannel(cand *assign.Assignment, j int, buf []slot) []slot {
 	for s := 0; s < cand.Servers(); s++ {
 		if u := cand.Occupant(s, j); u != assign.Local {
-			out = append(out, slot{u: u, s: s})
+			buf = append(buf, slot{u: u, s: s})
 		}
 	}
-	return out
+	return buf
 }
 
 // channelCost prices subchannel j: Σ (φ_u + ψ_u p_u)/log2(1+γ_us) over
@@ -216,16 +238,16 @@ func (inc *Incremental) rebuildChannel(cand *assign.Assignment, j int) []slot {
 func (inc *Incremental) channelCost(j int, group []slot) float64 {
 	cost := 0.0
 	for _, g := range group {
+		sBase := g.s*inc.numCh + j
 		interference := 0.0
 		for _, o := range group {
 			if o.u == g.u || o.s == g.s {
 				continue
 			}
-			interference += inc.txPowers[o.u] * inc.sc.Gain[o.u][g.s][j]
+			interference += inc.recv[o.u*inc.stride+sBase]
 		}
-		sinr := inc.txPowers[g.u] * inc.sc.Gain[g.u][g.s][j] / (interference + inc.sc.NoiseW)
-		d := inc.sc.Derived(g.u)
-		cost += (d.Phi + d.Psi*inc.txPowers[g.u]) / math.Log2(1+sinr)
+		sinr := inc.recv[g.u*inc.stride+sBase] / (interference + inc.noiseW)
+		cost += inc.commW[g.u] / (math.Log1p(sinr) * invLn2)
 	}
 	return cost
 }
@@ -242,15 +264,8 @@ func (inc *Incremental) totalLambda() float64 {
 	total := 0.0
 	for s, sum := range inc.sumSqrt {
 		if sum > 0 {
-			total += sum * sum / inc.sc.Servers[s].FHz
+			total += sum * sum / inc.serverF[s]
 		}
 	}
 	return total
-}
-
-// ensureSumDelta returns a zeroed per-server delta buffer.
-func (inc *Incremental) ensureSumDelta() []float64 {
-	// Allocated fresh each Preview: S is small and the map-free path
-	// keeps the hot loop simple.
-	return make([]float64, inc.sc.S())
 }

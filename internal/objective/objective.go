@@ -2,6 +2,12 @@
 // decision: the communication cost Γ(X), the optimal computation cost
 // Λ(X, F*) via the KKT allocation, the system utility J*(X) of Eq. (24),
 // and the per-user delay/energy/utility breakdown of Eqs. (8)–(10).
+//
+// The evaluation kernels run against the scenario's flat precomputed
+// tables — the received-power table p_u·G_us^j, the per-user
+// communication weights φ_u+ψ_u·p_u, and the √η_u vector — so a
+// SystemUtility call performs no allocation and no nested-slice pointer
+// chasing.
 package objective
 
 import (
@@ -13,6 +19,10 @@ import (
 	"github.com/tsajs/tsajs/internal/scenario"
 )
 
+// invLn2 is 1/ln2, precomputed so the rate denominator log2(1+γ) can be
+// evaluated as Log1p(γ)·invLn2 (one log call, no 1+γ rounding for small γ).
+const invLn2 = 1 / math.Ln2
+
 // Evaluator computes objective values for one scenario. It holds scratch
 // buffers, so a single Evaluator must not be used from multiple goroutines
 // concurrently; create one per goroutine (New is cheap).
@@ -20,9 +30,22 @@ type Evaluator struct {
 	sc       *scenario.Scenario
 	txPowers []float64
 
+	// Flat scenario tables (shared, read-only; see scenario.Finalize).
+	recv      []float64 // p_u·G_us^j at (u·S+s)·N+j
+	commW     []float64 // φ_u + ψ_u·p_u
+	gainConst []float64
+	sqrtEta   []float64
+	serverF   []float64
+	noiseW    float64
+	numCh     int // N
+	stride    int // S·N, the per-user stride into recv
+
 	// byChannel[j] lists the (user, server) pairs transmitting on
 	// subchannel j; rebuilt on every evaluation.
 	byChannel [][]slot
+	// sums[s] accumulates Σ√η per server during grouping, giving Λ
+	// without a second pass over the users.
+	sums []float64
 }
 
 type slot struct{ u, s int }
@@ -32,9 +55,20 @@ func New(sc *scenario.Scenario) *Evaluator {
 	e := &Evaluator{
 		sc:        sc,
 		txPowers:  sc.TxPowers(),
+		recv:      sc.RecvPower(),
+		commW:     sc.CommWeights(),
+		gainConst: sc.GainConsts(),
+		sqrtEta:   sc.SqrtEtas(),
+		serverF:   sc.ServerFreqs(),
+		noiseW:    sc.NoiseW,
+		numCh:     sc.N(),
+		stride:    sc.S() * sc.N(),
 		byChannel: make([][]slot, sc.N()),
+		sums:      make([]float64, sc.S()),
 	}
 	for j := range e.byChannel {
+		// Constraint (12d) admits at most one user per (server, channel)
+		// slot, so a channel never holds more than S members.
 		e.byChannel[j] = make([]slot, 0, sc.S())
 	}
 	return e
@@ -47,10 +81,17 @@ func (e *Evaluator) Scenario() *scenario.Scenario { return e.sc }
 //
 //	J*(X) = Σ_{u∈U_off} λ_u(β_u^t + β_u^e) − Γ(X) − Λ(X, F*),
 //
-// with the KKT-optimal resource allocation folded in via Eq. (23).
+// with the KKT-optimal resource allocation folded in via Eq. (23). It
+// performs zero allocations.
 func (e *Evaluator) SystemUtility(a *assign.Assignment) float64 {
 	gain, gamma := e.gainAndComm(a)
-	return gain - gamma - alloc.Lambda(e.sc, a)
+	lambda := 0.0
+	for s, sum := range e.sums {
+		if sum > 0 {
+			lambda += sum * sum / e.serverF[s]
+		}
+	}
+	return gain - gamma - lambda
 }
 
 // CommCost computes Γ(X) = Σ_s Σ_{u∈U_s} (φ_u + ψ_u·p_u)/log2(1+γ_us),
@@ -61,15 +102,15 @@ func (e *Evaluator) CommCost(a *assign.Assignment) float64 {
 }
 
 // gainAndComm walks the offloaded users once, returning the constant gain
-// term Σ λ_u(β^t+β^e) and the communication cost Γ(X).
+// term Σ λ_u(β^t+β^e) and the communication cost Γ(X). As a side effect it
+// leaves Σ√η per server in e.sums for the Λ term.
 func (e *Evaluator) gainAndComm(a *assign.Assignment) (gain, comm float64) {
 	e.groupByChannel(a)
 	for j, group := range e.byChannel {
 		for _, g := range group {
-			d := e.sc.Derived(g.u)
-			gain += d.GainConst
+			gain += e.gainConst[g.u]
 			sinr := e.sinrInGroup(g, j, group)
-			comm += (d.Phi + d.Psi*e.txPowers[g.u]) / math.Log2(1+sinr)
+			comm += e.commW[g.u] / (math.Log1p(sinr) * invLn2)
 		}
 	}
 	return gain, comm
@@ -78,19 +119,30 @@ func (e *Evaluator) gainAndComm(a *assign.Assignment) (gain, comm float64) {
 // SINR returns γ_us for user u on its assigned slot under decision a, or 0
 // if u is local. This is the aggregate SINR of Eq. (4); since each user
 // occupies exactly one subchannel it equals the single-channel SINR of
-// Eq. (3).
+// Eq. (3). Only the queried channel's co-channel set is inspected (O(S)),
+// not the full per-channel grouping.
 func (e *Evaluator) SINR(a *assign.Assignment, u int) float64 {
 	s, j := a.SlotOf(u)
 	if s == assign.Local {
 		return 0
 	}
-	e.groupByChannel(a)
-	return e.sinrInGroup(slot{u: u, s: s}, j, e.byChannel[j])
+	sBase := s*e.numCh + j
+	interference := 0.0
+	for o := 0; o < len(e.serverF); o++ {
+		if o == s {
+			continue
+		}
+		if v := a.Occupant(o, j); v != assign.Local {
+			interference += e.recv[v*e.stride+sBase]
+		}
+	}
+	return e.recv[u*e.stride+sBase] / (interference + e.noiseW)
 }
 
 // sinrInGroup computes Eq. (3) for one transmitter given the co-channel
 // group on subchannel j.
 func (e *Evaluator) sinrInGroup(g slot, j int, group []slot) float64 {
+	sBase := g.s*e.numCh + j
 	interference := 0.0
 	for _, o := range group {
 		if o.u == g.u || o.s == g.s {
@@ -99,14 +151,17 @@ func (e *Evaluator) sinrInGroup(g slot, j int, group []slot) float64 {
 			// constraint (12d), so only other-cell users interfere.
 			continue
 		}
-		interference += e.txPowers[o.u] * e.sc.Gain[o.u][g.s][j]
+		interference += e.recv[o.u*e.stride+sBase]
 	}
-	return e.txPowers[g.u] * e.sc.Gain[g.u][g.s][j] / (interference + e.sc.NoiseW)
+	return e.recv[g.u*e.stride+sBase] / (interference + e.noiseW)
 }
 
 func (e *Evaluator) groupByChannel(a *assign.Assignment) {
 	for j := range e.byChannel {
 		e.byChannel[j] = e.byChannel[j][:0]
+	}
+	for s := range e.sums {
+		e.sums[s] = 0
 	}
 	// Iterate users rather than the S×N slot matrix: evaluation cost then
 	// scales with the offloaded population, not the network size — the
@@ -114,6 +169,7 @@ func (e *Evaluator) groupByChannel(a *assign.Assignment) {
 	for u := 0; u < a.Users(); u++ {
 		if s, j := a.SlotOf(u); s != assign.Local {
 			e.byChannel[j] = append(e.byChannel[j], slot{u: u, s: s})
+			e.sums[s] += e.sqrtEta[u]
 		}
 	}
 }

@@ -13,6 +13,16 @@ import (
 	"github.com/tsajs/tsajs/internal/task"
 )
 
+// mustTensor builds a GainTensor from nested literals.
+func mustTensor(t *testing.T, nested [][][]float64) radio.GainTensor {
+	t.Helper()
+	h, err := radio.TensorFromNested(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 // handScenario builds a tiny two-user, two-server, one-channel scenario
 // with hand-picked gains so every quantity can be verified on paper.
 func handScenario(t *testing.T) *scenario.Scenario {
@@ -32,10 +42,10 @@ func handScenario(t *testing.T) *scenario.Scenario {
 	sc := &scenario.Scenario{
 		Users:   []scenario.User{user(0.1), user(0.9)},
 		Servers: []scenario.Server{{FHz: 20e9}, {Pos: geom.Point{X: 1}, FHz: 20e9}},
-		Gain: radio.GainTensor{
+		Gain: mustTensor(t, [][][]float64{
 			{{1e-10}, {1e-12}}, // user 0: strong to server 0
 			{{1e-12}, {1e-10}}, // user 1: strong to server 1
-		},
+		}),
 		Model:       radio.DefaultPathLoss(),
 		NumChannels: 1,
 		BandwidthHz: 10e6,

@@ -99,7 +99,7 @@ func TestTensorStatisticsMatchModel(t *testing.T) {
 	}
 	gains := make([]float64, n)
 	for i := range gains {
-		gains[i] = h[i][0][0]
+		gains[i] = h.At(i, 0, 0)
 	}
 	// Median in dB should match the path-loss prediction within ~0.5 dB.
 	medianDB := 10 * math.Log10(median(gains))

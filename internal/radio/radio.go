@@ -5,6 +5,7 @@
 package radio
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -76,9 +77,17 @@ func (m PathLossModel) MeanGain(dKm float64) float64 {
 	return units.DBToLinear(-m.PathLossDB(dKm))
 }
 
-// GainTensor is the channel-gain tensor h[u][s][j]: the linear power gain
-// from user u to base station s on subchannel j.
-type GainTensor [][][]float64
+// GainTensor is the channel-gain tensor h_us^j: the linear power gain from
+// user u to base station s on subchannel j. The gains are stored in one
+// contiguous float64 slice in user-major order — h_us^j lives at
+// data[(u·S+s)·N+j] — so the objective-evaluation kernels walk sequential
+// memory instead of chasing nested-slice pointers. At/Row are the indexed
+// views; the JSON wire format remains the nested [][][]float64 array.
+type GainTensor struct {
+	data     []float64
+	sites    int
+	channels int
+}
 
 // NewGainTensor draws a gain tensor for the given user and site positions
 // and subchannel count. Shadowing is drawn once per (user, site) pair
@@ -87,75 +96,168 @@ type GainTensor [][][]float64
 // per (user, site, subchannel).
 func NewGainTensor(m PathLossModel, users, sites []geom.Point, numChannels int, rng *simrand.Source) (GainTensor, error) {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return GainTensor{}, err
 	}
 	if numChannels <= 0 {
-		return nil, fmt.Errorf("radio: subchannel count must be positive, got %d", numChannels)
+		return GainTensor{}, fmt.Errorf("radio: subchannel count must be positive, got %d", numChannels)
 	}
 	if len(sites) == 0 {
-		return nil, errors.New("radio: no base station sites")
+		return GainTensor{}, errors.New("radio: no base station sites")
 	}
-	h := make(GainTensor, len(users))
-	for u, up := range users {
-		h[u] = make([][]float64, len(sites))
-		for s, sp := range sites {
+	h := GainTensor{
+		data:     make([]float64, len(users)*len(sites)*numChannels),
+		sites:    len(sites),
+		channels: numChannels,
+	}
+	i := 0
+	for _, up := range users {
+		for _, sp := range sites {
 			base := m.MeanGain(up.Dist(sp)) * rng.LogNormalDB(m.ShadowStdDB)
-			h[u][s] = make([]float64, numChannels)
 			for j := 0; j < numChannels; j++ {
-				h[u][s][j] = base * rng.LogNormalDB(m.FreqSelStdDB)
+				h.data[i] = base * rng.LogNormalDB(m.FreqSelStdDB)
+				i++
 			}
 		}
 	}
 	return h, nil
 }
 
+// TensorFromNested builds a GainTensor from the nested h[u][s][j]
+// representation (the JSON wire format and the natural literal form in
+// tests). Rows must be rectangular.
+func TensorFromNested(nested [][][]float64) (GainTensor, error) {
+	if len(nested) == 0 {
+		return GainTensor{}, errors.New("radio: empty gain tensor")
+	}
+	numSites := len(nested[0])
+	if numSites == 0 {
+		return GainTensor{}, errors.New("radio: gain tensor has no site rows")
+	}
+	numCh := len(nested[0][0])
+	if numCh == 0 {
+		return GainTensor{}, errors.New("radio: gain tensor has no channel columns")
+	}
+	h := GainTensor{
+		data:     make([]float64, 0, len(nested)*numSites*numCh),
+		sites:    numSites,
+		channels: numCh,
+	}
+	for u := range nested {
+		if len(nested[u]) != numSites {
+			return GainTensor{}, fmt.Errorf("radio: user %d has %d site rows, want %d", u, len(nested[u]), numSites)
+		}
+		for s := range nested[u] {
+			if len(nested[u][s]) != numCh {
+				return GainTensor{}, fmt.Errorf("radio: gain row (%d,%d) has %d channels, want %d", u, s, len(nested[u][s]), numCh)
+			}
+			h.data = append(h.data, nested[u][s]...)
+		}
+	}
+	return h, nil
+}
+
+// Nested materializes the tensor as the nested h[u][s][j] representation.
+// It copies; use At/Row/Data on hot paths.
+func (h GainTensor) Nested() [][][]float64 {
+	out := make([][][]float64, h.Users())
+	for u := range out {
+		out[u] = make([][]float64, h.sites)
+		for s := range out[u] {
+			out[u][s] = append([]float64(nil), h.Row(u, s)...)
+		}
+	}
+	return out
+}
+
 // Validate checks the tensor for shape consistency and physical gains.
 func (h GainTensor) Validate() error {
-	if len(h) == 0 {
+	if len(h.data) == 0 {
 		return errors.New("radio: empty gain tensor")
 	}
-	numSites, numCh := -1, -1
-	for u := range h {
-		if numSites == -1 {
-			numSites = len(h[u])
-		}
-		if len(h[u]) != numSites || numSites == 0 {
-			return fmt.Errorf("radio: user %d has %d site rows, want %d", u, len(h[u]), numSites)
-		}
-		for s := range h[u] {
-			if numCh == -1 {
-				numCh = len(h[u][s])
-			}
-			if len(h[u][s]) != numCh || numCh == 0 {
-				return fmt.Errorf("radio: gain row (%d,%d) has %d channels, want %d", u, s, len(h[u][s]), numCh)
-			}
-			for j, g := range h[u][s] {
-				if !(g > 0) || math.IsInf(g, 1) {
-					return fmt.Errorf("radio: gain h[%d][%d][%d] = %g is not a positive finite value", u, s, j, g)
-				}
-			}
+	if h.sites <= 0 || h.channels <= 0 {
+		return fmt.Errorf("radio: gain tensor has invalid shape %dx%d per user", h.sites, h.channels)
+	}
+	if len(h.data)%(h.sites*h.channels) != 0 {
+		return fmt.Errorf("radio: gain tensor holds %d entries, not a multiple of %d sites x %d channels",
+			len(h.data), h.sites, h.channels)
+	}
+	for i, g := range h.data {
+		if !(g > 0) || math.IsInf(g, 1) {
+			u := i / (h.sites * h.channels)
+			s := i / h.channels % h.sites
+			j := i % h.channels
+			return fmt.Errorf("radio: gain h[%d][%d][%d] = %g is not a positive finite value", u, s, j, g)
 		}
 	}
 	return nil
 }
 
 // Users returns the number of users the tensor covers.
-func (h GainTensor) Users() int { return len(h) }
-
-// Sites returns the number of base stations the tensor covers.
-func (h GainTensor) Sites() int {
-	if len(h) == 0 {
+func (h GainTensor) Users() int {
+	if h.sites == 0 || h.channels == 0 {
 		return 0
 	}
-	return len(h[0])
+	return len(h.data) / (h.sites * h.channels)
 }
 
+// Sites returns the number of base stations the tensor covers.
+func (h GainTensor) Sites() int { return h.sites }
+
 // Channels returns the number of subchannels the tensor covers.
-func (h GainTensor) Channels() int {
-	if len(h) == 0 || len(h[0]) == 0 {
-		return 0
+func (h GainTensor) Channels() int { return h.channels }
+
+// At returns h_us^j.
+func (h GainTensor) At(u, s, j int) float64 {
+	return h.data[(u*h.sites+s)*h.channels+j]
+}
+
+// Set overwrites h_us^j (construction and test helper; scenarios treat a
+// finalized tensor as immutable).
+func (h GainTensor) Set(u, s, j int, v float64) {
+	h.data[(u*h.sites+s)*h.channels+j] = v
+}
+
+// Truncate returns a tensor covering only the first n users, sharing the
+// receiver's storage. It exists for shape-mismatch tests and sub-population
+// views; n must not exceed Users().
+func (h GainTensor) Truncate(n int) GainTensor {
+	return GainTensor{data: h.data[:n*h.sites*h.channels], sites: h.sites, channels: h.channels}
+}
+
+// Row returns the contiguous per-subchannel gain row of the (u, s) pair.
+// The slice aliases the tensor's storage and must be treated as read-only.
+func (h GainTensor) Row(u, s int) []float64 {
+	base := (u*h.sites + s) * h.channels
+	return h.data[base : base+h.channels : base+h.channels]
+}
+
+// Data returns the flat user-major backing slice (read-only): entry
+// (u·Sites()+s)·Channels()+j is h_us^j. Hot kernels index it directly with
+// the same stride arithmetic instead of going through At.
+func (h GainTensor) Data() []float64 { return h.data }
+
+// MarshalJSON emits the nested [][][]float64 wire format, keeping encoded
+// scenarios identical to the pre-flattening layout.
+func (h GainTensor) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.Nested())
+}
+
+// UnmarshalJSON decodes the nested [][][]float64 wire format.
+func (h *GainTensor) UnmarshalJSON(data []byte) error {
+	var nested [][][]float64
+	if err := json.Unmarshal(data, &nested); err != nil {
+		return err
 	}
-	return len(h[0][0])
+	if len(nested) == 0 {
+		*h = GainTensor{}
+		return nil
+	}
+	t, err := TensorFromNested(nested)
+	if err != nil {
+		return err
+	}
+	*h = t
+	return nil
 }
 
 // SINR computes Eq. (3): the signal-to-interference-plus-noise ratio of
@@ -168,9 +270,9 @@ func (h GainTensor) Channels() int {
 func (h GainTensor) SINR(u, s, j int, txPowerW []float64, interferers []int, noiseW float64) float64 {
 	interference := 0.0
 	for _, k := range interferers {
-		interference += txPowerW[k] * h[k][s][j]
+		interference += txPowerW[k] * h.At(k, s, j)
 	}
-	return txPowerW[u] * h[u][s][j] / (interference + noiseW)
+	return txPowerW[u] * h.At(u, s, j) / (interference + noiseW)
 }
 
 // Rate computes Eq. (4): the achievable uplink rate in bits/s over a

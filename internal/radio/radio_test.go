@@ -99,8 +99,8 @@ func TestNewGainTensorFlatMatchesPathLoss(t *testing.T) {
 	}
 	want := m.MeanGain(0.25)
 	for j := 0; j < 2; j++ {
-		if math.Abs(h[0][0][j]-want) > 1e-18 {
-			t.Errorf("flat gain h[0][0][%d] = %g, want %g", j, h[0][0][j], want)
+		if math.Abs(h.At(0, 0, j)-want) > 1e-18 {
+			t.Errorf("flat gain h[0][0][%d] = %g, want %g", j, h.At(0, 0, j), want)
 		}
 	}
 }
@@ -128,17 +128,21 @@ func TestGainTensorValidateCatchesCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h[1][0][1] = 0
+	good := h.At(1, 0, 1)
+	h.Set(1, 0, 1, 0)
 	if err := h.Validate(); err == nil {
 		t.Error("zero gain passed validation")
 	}
-	h[1][0][1] = math.Inf(1)
+	h.Set(1, 0, 1, math.Inf(1))
 	if err := h.Validate(); err == nil {
 		t.Error("infinite gain passed validation")
 	}
-	h[1][0] = h[1][0][:1]
-	if err := h.Validate(); err == nil {
-		t.Error("ragged tensor passed validation")
+	h.Set(1, 0, 1, good)
+	if err := h.Validate(); err != nil {
+		t.Errorf("repaired tensor rejected: %v", err)
+	}
+	if _, err := TensorFromNested([][][]float64{{{1, 2}}, {{3}}}); err == nil {
+		t.Error("ragged tensor passed construction")
 	}
 	if err := (GainTensor{}).Validate(); err == nil {
 		t.Error("empty tensor passed validation")
@@ -146,7 +150,7 @@ func TestGainTensorValidateCatchesCorruption(t *testing.T) {
 }
 
 func TestSINRNoInterference(t *testing.T) {
-	h := GainTensor{{{1e-10, 1e-10}}}
+	h := mustTensor(t, [][][]float64{{{1e-10, 1e-10}}})
 	tx := []float64{0.01}
 	got := h.SINR(0, 0, 0, tx, nil, 1e-13)
 	want := 0.01 * 1e-10 / 1e-13
@@ -157,10 +161,10 @@ func TestSINRNoInterference(t *testing.T) {
 
 func TestSINRWithInterference(t *testing.T) {
 	// Two users, two sites: user 1 interferes with user 0 at site 0.
-	h := GainTensor{
+	h := mustTensor(t, [][][]float64{
 		{{2e-10}, {1e-11}},
 		{{5e-11}, {3e-10}},
-	}
+	})
 	tx := []float64{0.01, 0.02}
 	noise := 1e-13
 	got := h.SINR(0, 0, 0, tx, []int{1}, noise)
@@ -200,15 +204,25 @@ func TestGainTensorDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u := range a {
-		for s := range a[u] {
-			for j := range a[u][s] {
-				if a[u][s][j] != b[u][s][j] {
+	for u := 0; u < a.Users(); u++ {
+		for s := 0; s < a.Sites(); s++ {
+			for j := 0; j < a.Channels(); j++ {
+				if a.At(u, s, j) != b.At(u, s, j) {
 					t.Fatalf("tensors differ at (%d,%d,%d)", u, s, j)
 				}
 			}
 		}
 	}
+}
+
+// mustTensor builds a GainTensor from nested literals.
+func mustTensor(t *testing.T, nested [][][]float64) GainTensor {
+	t.Helper()
+	h, err := TensorFromNested(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 func TestShadowingSpreadsGains(t *testing.T) {
@@ -222,7 +236,7 @@ func TestShadowingSpreadsGains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h[0][0][0] == h[1][0][0] {
+	if h.At(0, 0, 0) == h.At(1, 0, 0) {
 		t.Error("shadowing produced identical gains for distinct users")
 	}
 }

@@ -3,21 +3,25 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+
+	"github.com/tsajs/tsajs/internal/radio"
 )
 
 // scenarioJSON mirrors Scenario's exported fields for serialization. A
 // separate type avoids infinite recursion in the Unmarshaler and keeps the
-// wire format explicit.
+// wire format explicit. GainTensor's own codec emits the nested
+// [][][]float64 array, so the wire format is unchanged by the flattened
+// in-memory layout.
 type scenarioJSON struct {
-	Users           []User          `json:"users"`
-	Servers         []Server        `json:"servers"`
-	Gain            [][][]float64   `json:"gain"`
-	Model           json.RawMessage `json:"model,omitempty"`
-	NumChannels     int             `json:"numChannels"`
-	BandwidthHz     float64         `json:"bandwidthHz"`
-	NoiseW          float64         `json:"noiseW"`
-	DownlinkRateBps float64         `json:"downlinkRateBps,omitempty"`
-	Seed            uint64          `json:"seed"`
+	Users           []User           `json:"users"`
+	Servers         []Server         `json:"servers"`
+	Gain            radio.GainTensor `json:"gain"`
+	Model           json.RawMessage  `json:"model,omitempty"`
+	NumChannels     int              `json:"numChannels"`
+	BandwidthHz     float64          `json:"bandwidthHz"`
+	NoiseW          float64          `json:"noiseW"`
+	DownlinkRateBps float64          `json:"downlinkRateBps,omitempty"`
+	Seed            uint64           `json:"seed"`
 }
 
 // MarshalJSON serializes the scenario. Derived values are recomputed on

@@ -125,6 +125,16 @@ type Scenario struct {
 	Seed uint64 `json:"seed"`
 
 	derived []Derived
+
+	// Flat per-user tables rebuilt by Finalize. The objective kernels and
+	// the CRA allocator index these instead of copying Derived structs or
+	// re-multiplying p_u·G_us^j per interference term.
+	recvPower  []float64 // P[(u·S+s)·N+j] = p_u·G_us^j
+	commWeight []float64 // φ_u + ψ_u·p_u
+	gainConst  []float64 // Derived.GainConst
+	sqrtEta    []float64 // Derived.SqrtEta
+	txPowers   []float64 // p_u
+	serverFreq []float64 // f_s
 }
 
 // U returns the number of users.
@@ -145,14 +155,38 @@ func (sc *Scenario) SubchannelHz() float64 {
 // succeeded first (Build and UnmarshalJSON call it).
 func (sc *Scenario) Derived(u int) Derived { return sc.derived[u] }
 
-// TxPowers returns the per-user transmit power vector (shared, read-only).
-func (sc *Scenario) TxPowers() []float64 {
-	p := make([]float64, len(sc.Users))
-	for i, u := range sc.Users {
-		p[i] = u.TxPowerW
-	}
-	return p
+// TxPowers returns the per-user transmit power vector. The slice is shared
+// scenario state and must be treated as read-only.
+func (sc *Scenario) TxPowers() []float64 { return sc.txPowers }
+
+// RecvPower returns the flat received-power table precomputed by Finalize:
+// entry (u·S()+s)·N()+j holds p_u·G_us^j, the numerator of Eq. (3) and the
+// per-interferer term of its denominator. User-major layout, identical
+// stride arithmetic to Gain.Data(). Shared state; read-only.
+func (sc *Scenario) RecvPower() []float64 { return sc.recvPower }
+
+// RecvPowerAt returns p_u·G_us^j for one (user, server, subchannel) triple.
+func (sc *Scenario) RecvPowerAt(u, s, j int) float64 {
+	return sc.recvPower[(u*len(sc.Servers)+s)*sc.NumChannels+j]
 }
+
+// CommWeights returns the per-user communication-cost weights
+// (φ_u + ψ_u·p_u), the numerator of each Γ(X) term in Eq. (19). Shared
+// state; read-only.
+func (sc *Scenario) CommWeights() []float64 { return sc.commWeight }
+
+// GainConsts returns the per-user constant utility contribution of an
+// offloaded user (Derived.GainConst) as a flat vector. Shared state;
+// read-only.
+func (sc *Scenario) GainConsts() []float64 { return sc.gainConst }
+
+// SqrtEtas returns the per-user √η_u vector used by the KKT allocation
+// (Eq. 22). Shared state; read-only.
+func (sc *Scenario) SqrtEtas() []float64 { return sc.sqrtEta }
+
+// ServerFreqs returns the per-server capacity vector f_s. Shared state;
+// read-only.
+func (sc *Scenario) ServerFreqs() []float64 { return sc.serverFreq }
 
 // Validate checks the full instance for consistency.
 func (sc *Scenario) Validate() error {
@@ -204,6 +238,10 @@ func (sc *Scenario) Finalize() error {
 	}
 	w := sc.SubchannelHz()
 	sc.derived = make([]Derived, len(sc.Users))
+	sc.commWeight = make([]float64, len(sc.Users))
+	sc.gainConst = make([]float64, len(sc.Users))
+	sc.sqrtEta = make([]float64, len(sc.Users))
+	sc.txPowers = make([]float64, len(sc.Users))
 	for i, u := range sc.Users {
 		local, err := task.Local(u.Task, u.FLocalHz, u.Kappa)
 		if err != nil {
@@ -224,6 +262,27 @@ func (sc *Scenario) Finalize() error {
 			TDownS:  tDown,
 			GainConst: u.Lambda*(u.BetaTime+u.BetaEnergy) -
 				u.Lambda*u.BetaTime*tDown/local.TimeS,
+		}
+		sc.commWeight[i] = sc.derived[i].Phi + sc.derived[i].Psi*u.TxPowerW
+		sc.gainConst[i] = sc.derived[i].GainConst
+		sc.sqrtEta[i] = sc.derived[i].SqrtEta
+		sc.txPowers[i] = u.TxPowerW
+	}
+	sc.serverFreq = make([]float64, len(sc.Servers))
+	for s := range sc.Servers {
+		sc.serverFreq[s] = sc.Servers[s].FHz
+	}
+	// Received-power table: one contiguous user-major block mirroring the
+	// gain tensor's layout, so kernels share the same stride arithmetic.
+	gains := sc.Gain.Data()
+	sc.recvPower = make([]float64, len(gains))
+	stride := len(sc.Servers) * sc.NumChannels
+	for u := range sc.Users {
+		p := sc.Users[u].TxPowerW
+		row := gains[u*stride : (u+1)*stride]
+		out := sc.recvPower[u*stride : (u+1)*stride]
+		for i, g := range row {
+			out[i] = p * g
 		}
 	}
 	return nil

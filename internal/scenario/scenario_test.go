@@ -109,10 +109,10 @@ func TestBuildDeterministicInSeed(t *testing.T) {
 			t.Fatalf("user %d position differs across identical seeds", i)
 		}
 	}
-	for u := range a.Gain {
-		for s := range a.Gain[u] {
-			for j := range a.Gain[u][s] {
-				if a.Gain[u][s][j] != b.Gain[u][s][j] {
+	for u := 0; u < a.Gain.Users(); u++ {
+		for s := 0; s < a.Gain.Sites(); s++ {
+			for j := 0; j < a.Gain.Channels(); j++ {
+				if a.Gain.At(u, s, j) != b.Gain.At(u, s, j) {
 					t.Fatalf("gain (%d,%d,%d) differs across identical seeds", u, s, j)
 				}
 			}
@@ -225,7 +225,7 @@ func TestUserValidate(t *testing.T) {
 
 func TestScenarioValidateCatchesMismatchedGain(t *testing.T) {
 	sc := buildDefault(t, nil)
-	sc.Gain = sc.Gain[:len(sc.Gain)-1]
+	sc.Gain = sc.Gain.Truncate(sc.Gain.Users() - 1)
 	if err := sc.Validate(); err == nil {
 		t.Error("truncated gain tensor accepted")
 	}
@@ -257,10 +257,10 @@ func TestJSONRoundTrip(t *testing.T) {
 	if got.Seed != orig.Seed || got.BandwidthHz != orig.BandwidthHz || got.NoiseW != orig.NoiseW {
 		t.Error("scalar fields changed in round trip")
 	}
-	for u := range orig.Gain {
-		for s := range orig.Gain[u] {
-			for j := range orig.Gain[u][s] {
-				if got.Gain[u][s][j] != orig.Gain[u][s][j] {
+	for u := 0; u < orig.Gain.Users(); u++ {
+		for s := 0; s < orig.Gain.Sites(); s++ {
+			for j := 0; j < orig.Gain.Channels(); j++ {
+				if got.Gain.At(u, s, j) != orig.Gain.At(u, s, j) {
 					t.Fatalf("gain (%d,%d,%d) changed in round trip", u, s, j)
 				}
 			}
