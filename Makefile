@@ -4,18 +4,32 @@ tier1:
 	go build ./...
 	go test ./...
 
+# Dedicated race-detector pass: the full suite in short mode under -race.
+# Short mode trims the differential portfolio suite to its first seeds;
+# the bench gate runs in its own CI job without instrumentation.
+.PHONY: race
+race:
+	go test -race -short ./...
+
+# Fuzz smoke: every native fuzz target runs its checked-in corpus
+# (testdata/fuzz/ + f.Add seeds) plus a few seconds of fresh exploration.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test -run='^$$' -fuzz='^FuzzOperationSequence$$' -fuzztime=5s ./internal/assign
+	go test -run='^$$' -fuzz='^FuzzUnmarshalScenario$$' -fuzztime=5s ./internal/scenario
+	go test -run='^$$' -fuzz='^FuzzScenarioCodec$$' -fuzztime=10s ./internal/scenario
+	go test -run='^$$' -fuzz='^FuzzAssignmentUtility$$' -fuzztime=10s ./internal/objective
+	go test -run='^$$' -fuzz='^FuzzHandleRequest$$' -fuzztime=5s ./internal/cran
+
 # Tier-1+ robustness check: vet, build, the full suite under the race
-# detector, and a short fuzz pass over every fuzz target's corpus plus a
-# few seconds of fresh exploration each. CI and pre-merge runs should use
+# detector, and the fuzz smoke pass. CI and pre-merge runs should use
 # this target.
 .PHONY: verify
 verify:
 	go vet ./...
 	go build ./...
 	go test -race ./...
-	go test -run='^$$' -fuzz=FuzzOperationSequence -fuzztime=5s ./internal/assign
-	go test -run='^$$' -fuzz=FuzzUnmarshalScenario -fuzztime=5s ./internal/scenario
-	go test -run='^$$' -fuzz=FuzzHandleRequest -fuzztime=5s ./internal/cran
+	$(MAKE) fuzz-smoke
 
 # Benchmark recording: run the full suite with -benchmem and persist a
 # machine-readable BENCH_<date>.json (ns/op, B/op, allocs/op, and custom
@@ -28,7 +42,7 @@ BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 # The recorded set covers the perf kernels and solver end-to-end runs; the
 # BenchmarkFigure* experiment reproductions are excluded (they are sweeps,
 # not performance probes, and take minutes each).
-PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental)
+PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental|Portfolio)
 
 .PHONY: bench
 bench:

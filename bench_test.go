@@ -27,6 +27,7 @@ import (
 	"github.com/tsajs/tsajs/internal/dynamic"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
 	"github.com/tsajs/tsajs/internal/solver"
@@ -146,6 +147,43 @@ func BenchmarkSolveHJTORA_U30(b *testing.B)      { solverBench(b, tsajs.NewHJTOR
 func BenchmarkSolveHJTORA_U60(b *testing.B)      { solverBench(b, tsajs.NewHJTORA(), 60) }
 func BenchmarkSolveLocalSearch_U30(b *testing.B) { solverBench(b, tsajs.NewLocalSearch(), 30) }
 func BenchmarkSolveGreedy_U30(b *testing.B)      { solverBench(b, tsajs.NewGreedy(), 30) }
+
+// benchPortfolio runs one portfolio solve per iteration: chains restarts
+// fanned over workers (0 = GOMAXPROCS). The reported "utility" metric is
+// identical across worker counts by the deterministic-reduction contract,
+// so ns/op is the only thing allowed to move.
+func benchPortfolio(b *testing.B, chains, workers int) {
+	sc := benchScenario(b, 30)
+	pf, err := portfolio.New(core.DefaultConfig(), solver.PortfolioOptions{
+		Chains:  chains,
+		Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pf.Schedule(sc, simrand.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Utility
+	}
+	b.ReportMetric(total/float64(b.N), "utility")
+}
+
+// BenchmarkPortfolioSolve compares the multi-restart portfolio at 1, 4 and
+// 8 chains against the same 8 chains forced sequential (workers=1): the
+// chains8/seq8 ns/op ratio is the wall-clock speedup of the parallel
+// reduction — ≥2x is expected on a ≥4-core host, ~1x on a single core —
+// while the utility metric must be bit-identical between the two.
+func BenchmarkPortfolioSolve(b *testing.B) {
+	b.Run("chains1", func(b *testing.B) { benchPortfolio(b, 1, 0) })
+	b.Run("chains4", func(b *testing.B) { benchPortfolio(b, 4, 0) })
+	b.Run("chains8", func(b *testing.B) { benchPortfolio(b, 8, 0) })
+	b.Run("seq8", func(b *testing.B) { benchPortfolio(b, 8, 1) })
+}
 
 // --- Ablation benches (DESIGN.md Section 5) ---
 

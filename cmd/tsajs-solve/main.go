@@ -31,13 +31,16 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsajs-solve", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "scenario JSON file (default: stdin)")
-		scheme = fs.String("scheme", "tsajs", "scheduler: tsajs, exhaustive, hjtora, localsearch, greedy")
-		seed   = fs.Uint64("seed", 1, "random seed for stochastic schedulers")
-		detail = fs.Bool("detail", false, "emit the full per-user report as JSON")
-		trace  = fs.String("trace", "", "write the TTSA convergence trace as CSV to this file (tsajs scheme only)")
-		cpu    = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
-		mem    = fs.String("memprofile", "", "write a heap profile after the solve to this file")
+		in      = fs.String("in", "", "scenario JSON file (default: stdin)")
+		scheme  = fs.String("scheme", "tsajs", "scheduler: tsajs, exhaustive, hjtora, localsearch, greedy")
+		seed    = fs.Uint64("seed", 1, "random seed for stochastic schedulers")
+		chains  = fs.Int("chains", 1, "run the tsajs scheme as a K-chain multi-restart portfolio (deterministic per seed)")
+		workers = fs.Int("workers", 0, "portfolio worker cap (0 = GOMAXPROCS; affects speed only, never the result)")
+		shared  = fs.Bool("shared-incumbent", false, "share the best utility across portfolio chains (faster convergence, non-deterministic)")
+		detail  = fs.Bool("detail", false, "emit the full per-user report as JSON")
+		trace   = fs.String("trace", "", "write the TTSA convergence trace as CSV to this file (tsajs scheme only)")
+		cpu     = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		mem     = fs.String("memprofile", "", "write a heap profile after the solve to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +89,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sched, err := schedulerFor(*scheme)
 	if err != nil {
 		return err
+	}
+	if *chains < 1 {
+		return fmt.Errorf("-chains must be at least 1, got %d", *chains)
+	}
+	if *chains > 1 {
+		lower := strings.ToLower(*scheme)
+		if lower != "tsajs" && lower != "ttsa" {
+			return fmt.Errorf("-chains requires the tsajs scheme, got %q", *scheme)
+		}
+		if *trace != "" {
+			return fmt.Errorf("-trace traces a single chain; it cannot be combined with -chains %d", *chains)
+		}
+		sched, err = tsajs.NewPortfolio(tsajs.DefaultConfig(), tsajs.PortfolioOptions{
+			Chains:          *chains,
+			Workers:         *workers,
+			SharedIncumbent: *shared,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	var res tsajs.Result
 	if *trace != "" {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// Incumbent shares the best utility across concurrently running chains of a
+// portfolio solve. Implementations must be safe for concurrent use; the
+// chain loop calls Offer/Best once per temperature stage, never per move.
+type Incumbent interface {
+	// Best returns the best utility any chain has offered so far
+	// (-Inf before the first offer).
+	Best() float64
+	// Offer proposes a chain's current best utility as the shared best.
+	Offer(utility float64)
+}
+
+// ChainOptions bundles the optional machinery a portfolio run threads into
+// one chain. The zero value reproduces Schedule exactly.
+type ChainOptions struct {
+	// Evaluator is reusable objective scratch owned by the calling worker;
+	// nil (or an evaluator bound to a different scenario) allocates a fresh
+	// one. Reuse changes no arithmetic — the evaluator is stateless between
+	// solves — it only avoids the per-chain allocation.
+	Evaluator *objective.Evaluator
+	// Initial warm-starts the chain from a feasible decision instead of a
+	// random one; it is cloned, never mutated.
+	Initial *assign.Assignment
+	// Incumbent, when non-nil, lets the chain read the best utility of its
+	// peers at every stage boundary: a chain whose own best lags the shared
+	// incumbent fires the paper's threshold trigger early and finishes its
+	// cooling with α₂. This couples chains to the scheduler's timing and is
+	// therefore non-deterministic; leave nil for the canonical mode.
+	Incumbent Incumbent
+}
+
+// ScheduleChain runs one Algorithm 1 chain with the given portfolio
+// machinery. With a nil Incumbent the result is bit-identical to
+// Schedule (nil Initial) or ScheduleFrom (non-nil Initial) on the same
+// scenario and rng state.
+func (t *TTSA) ScheduleChain(sc *scenario.Scenario, rng *simrand.Source, opts ChainOptions) (solver.Result, error) {
+	res, _, err := t.runChain(sc, rng, false, opts)
+	return res, err
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/mobility"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
@@ -51,6 +52,14 @@ type Config struct {
 	// TTSAConfig configures the default scheduler when Scheduler is nil.
 	// The zero value means core.DefaultConfig.
 	TTSAConfig *core.Config
+	// Chains runs every epoch's solve as a K-chain deterministic portfolio
+	// (internal/portfolio) instead of a single TTSA chain; 0 and 1 keep
+	// the single chain. Warm starts and fault masks carry into every
+	// chain. Requires the built-in TTSA scheduler.
+	Chains int
+	// PortfolioWorkers bounds concurrently running portfolio chains
+	// (0 = GOMAXPROCS). Affects wall-clock time only, never the decisions.
+	PortfolioWorkers int
 	// Seed drives the entire simulation (mobility, arrivals, channel,
 	// search).
 	Seed uint64
@@ -91,6 +100,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dynamic: active probability must be in [0,1], got %g", c.ActiveProb)
 	case c.WarmStart && c.Scheduler != nil:
 		return errors.New("dynamic: warm start requires the built-in TTSA scheduler")
+	case c.Chains < 0:
+		return fmt.Errorf("dynamic: portfolio chains must be non-negative, got %d", c.Chains)
+	case c.Chains > 1 && c.Scheduler != nil:
+		return errors.New("dynamic: portfolio chains require the built-in TTSA scheduler")
 	case c.FaultPlan != nil && c.Scheduler != nil:
 		return errors.New("dynamic: fault plans require the built-in TTSA scheduler (server masking)")
 	case c.FaultPlan != nil && c.FaultPlan.Servers() != c.Params.NumServers:
@@ -163,6 +176,7 @@ func Run(cfg Config) (*Result, error) {
 
 	sched := cfg.Scheduler
 	var ttsa *core.TTSA
+	var pf *portfolio.Portfolio
 	if sched == nil {
 		ttsaCfg := core.DefaultConfig()
 		if cfg.TTSAConfig != nil {
@@ -174,6 +188,16 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		sched = ttsa
+		if cfg.Chains > 1 {
+			pf, err = portfolio.Wrap(ttsa, solver.PortfolioOptions{
+				Chains:  cfg.Chains,
+				Workers: cfg.PortfolioWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sched = pf
+		}
 	}
 
 	sites := geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm)
@@ -289,9 +313,15 @@ func Run(cfg Config) (*Result, error) {
 				evacuated += len(evac)
 			}
 		}
-		if initial != nil {
+		switch {
+		case pf != nil:
+			// The portfolio's SolveFrom handles both cold (nil initial)
+			// and warm/masked starts; every chain inherits the initial
+			// decision and its server masks.
+			solveRes, err = pf.SolveFrom(sc, epochRNG, initial)
+		case initial != nil:
 			solveRes, err = ttsa.ScheduleFrom(sc, epochRNG, initial)
-		} else {
+		default:
 			solveRes, err = sched.Schedule(sc, epochRNG)
 		}
 		if err != nil {

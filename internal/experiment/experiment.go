@@ -33,6 +33,13 @@ type Options struct {
 	// Quick shrinks sweeps and search budgets for smoke tests and
 	// benchmarks; the full paper configuration runs with Quick=false.
 	Quick bool
+	// Chains runs every stochastic TSAJS solve as a K-chain deterministic
+	// portfolio (internal/portfolio) instead of a single chain; 0 and 1
+	// keep the sequential solver. Baseline schemes are unaffected.
+	Chains int
+	// SharedIncumbent enables cross-chain incumbent sharing inside the
+	// portfolio (non-deterministic; see solver.PortfolioOptions).
+	SharedIncumbent bool
 }
 
 func (o Options) withDefaults() Options {

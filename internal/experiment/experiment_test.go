@@ -244,7 +244,7 @@ func TestSweepErrors(t *testing.T) {
 	if _, err := Sweep(quickOpts(), "t", "x", "y", nil, []Point{{X: 1}}, UtilityMetric); err == nil {
 		t.Error("sweep accepted zero schemes")
 	}
-	ts, err := ttsa("TSAJS", 10, true)
+	ts, err := ttsa("TSAJS", 10, Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

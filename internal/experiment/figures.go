@@ -6,8 +6,10 @@ import (
 
 	"github.com/tsajs/tsajs/internal/baseline"
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/report"
 	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/solver"
 	"github.com/tsajs/tsajs/internal/units"
 )
 
@@ -39,12 +41,23 @@ func Run(figure string, opts Options) ([]report.Table, error) {
 }
 
 // ttsa builds a TSAJS scheme with inner-loop length innerL, reduced search
-// budget in quick mode.
-func ttsa(name string, innerL int, quick bool) (Scheme, error) {
+// budget in quick mode, and — when opts.Chains > 1 — the per-solve
+// multi-restart portfolio in place of the single sequential chain.
+func ttsa(name string, innerL int, opts Options) (Scheme, error) {
 	cfg := core.DefaultConfig()
 	cfg.InnerIterations = innerL
-	if quick {
+	if opts.Quick {
 		cfg.MaxEvaluations = 2500
+	}
+	if opts.Chains > 1 {
+		pf, err := portfolio.New(cfg, solver.PortfolioOptions{
+			Chains:          opts.Chains,
+			SharedIncumbent: opts.SharedIncumbent,
+		})
+		if err != nil {
+			return Scheme{}, err
+		}
+		return Scheme{Name: name, Scheduler: pf}, nil
 	}
 	t, err := core.New(cfg)
 	if err != nil {
@@ -69,12 +82,12 @@ func localSearch(quick bool) (Scheme, error) {
 // comparisonSchemes builds the standard scheme set of Figs. 4–8: TSAJS,
 // hJTORA, LocalSearch and Greedy (the exhaustive optimum only appears in
 // the small-network Fig. 3).
-func comparisonSchemes(innerL int, quick bool) ([]Scheme, error) {
-	ts, err := ttsa("TSAJS", innerL, quick)
+func comparisonSchemes(innerL int, opts Options) ([]Scheme, error) {
+	ts, err := ttsa("TSAJS", innerL, opts)
 	if err != nil {
 		return nil, err
 	}
-	ls, err := localSearch(quick)
+	ls, err := localSearch(opts.Quick)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +103,7 @@ func comparisonSchemes(innerL int, quick bool) ([]Scheme, error) {
 // with N=2 subchannels, workloads 1000–4000 Megacycles, comparing TSAJS
 // against the exhaustive optimum, hJTORA, LocalSearch and Greedy.
 func Figure3(opts Options) ([]report.Table, error) {
-	schemes, err := comparisonSchemes(30, opts.Quick)
+	schemes, err := comparisonSchemes(30, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +144,7 @@ func Figure4(opts Options) ([]report.Table, error) {
 	var tables []report.Table
 	for _, w := range workloads {
 		for _, innerL := range []int{10, 30} {
-			schemes, err := comparisonSchemes(innerL, opts.Quick)
+			schemes, err := comparisonSchemes(innerL, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -156,7 +169,7 @@ func Figure4(opts Options) ([]report.Table, error) {
 
 // Figure5 reproduces the task-data-size analysis: system utility vs d_u.
 func Figure5(opts Options) ([]report.Table, error) {
-	schemes, err := comparisonSchemes(30, opts.Quick)
+	schemes, err := comparisonSchemes(30, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +202,7 @@ func Figure6(opts Options) ([]report.Table, error) {
 	}
 	var tables []report.Table
 	for _, u := range userCounts {
-		schemes, err := comparisonSchemes(30, opts.Quick)
+		schemes, err := comparisonSchemes(30, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +243,7 @@ func subchannelSweep(opts Options, figure, yLabel string, innerLs []int, metric 
 	}
 	var tables []report.Table
 	for _, innerL := range innerLs {
-		schemes, err := comparisonSchemes(innerL, opts.Quick)
+		schemes, err := comparisonSchemes(innerL, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +292,7 @@ func Figure9(opts Options) ([]report.Table, error) {
 			X:      betas,
 		}
 		for _, scale := range scales {
-			scheme, err := ttsa(fmt.Sprintf("U=%d", scale), 30, opts.Quick)
+			scheme, err := ttsa(fmt.Sprintf("U=%d", scale), 30, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,39 @@
+package portfolio
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// sharedIncumbent is a lock-free max-reduction over chain utilities: the
+// float64 best is stored as its IEEE-754 bits in one atomic word and
+// advanced with a compare-and-swap loop. Chains touch it once per
+// temperature stage, so contention is negligible next to the inner loop.
+type sharedIncumbent struct {
+	bits atomic.Uint64
+}
+
+func newSharedIncumbent() *sharedIncumbent {
+	s := &sharedIncumbent{}
+	s.bits.Store(math.Float64bits(math.Inf(-1)))
+	return s
+}
+
+// Best implements core.Incumbent.
+func (s *sharedIncumbent) Best() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Offer implements core.Incumbent. NaN offers are ignored (the comparison
+// rejects them), so a pathological chain cannot poison the shared state.
+func (s *sharedIncumbent) Offer(utility float64) {
+	for {
+		old := s.bits.Load()
+		if !(utility > math.Float64frombits(old)) {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(utility)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package portfolio runs many independent TTSA chains as one solve — the
+// multi-restart evaluation methodology of the paper (and of the hJTORA
+// comparator) made a first-class, parallel scheduler.
+//
+// Determinism is the package's contract. Every chain derives its random
+// stream solely from the caller's rng seed and its own chain index
+// (ChainStream), chains never share mutable state in the default mode, and
+// the reduction walks results in chain-index order with ties broken by the
+// lower index. The merged assignment and utility are therefore bit-identical
+// regardless of worker count, core count, goroutine scheduling, or the race
+// detector — K chains on one worker and K chains on eight workers return
+// the same answer.
+//
+// The optional shared-incumbent mode (Options.SharedIncumbent) trades that
+// determinism for convergence speed: chains publish their best utility and
+// lagging chains fire the paper's threshold re-anneal early. It is off by
+// default so the deterministic mode stays canonical.
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// chainLabel offsets the per-chain Derive labels so portfolio streams never
+// collide with the other fixed labels in the codebase (experiment trials,
+// dynamic subsystems, MultiStart).
+const chainLabel = 0x706f7274 // "port"
+
+// ChainStream returns the random stream of chain i of a portfolio solve
+// seeded by rng. It reads only rng's seed (Derive never consumes state), so
+// streams can be taken in any order; the differential tests use it to build
+// the sequential reference a parallel run must reproduce.
+func ChainStream(rng *simrand.Source, chain int) *simrand.Source {
+	return rng.Derive(chainLabel + uint64(chain))
+}
+
+// Portfolio is a solver.Scheduler running K independent TTSA chains per
+// solve with a deterministic reduction.
+type Portfolio struct {
+	base *core.TTSA
+	opts solver.PortfolioOptions
+}
+
+var _ solver.Scheduler = (*Portfolio)(nil)
+
+// New builds a portfolio of chains of the given TTSA configuration.
+func New(cfg core.Config, opts solver.PortfolioOptions) (*Portfolio, error) {
+	base, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(base, opts)
+}
+
+// Wrap builds a portfolio around an existing TTSA scheduler.
+func Wrap(base *core.TTSA, opts solver.PortfolioOptions) (*Portfolio, error) {
+	if base == nil {
+		return nil, fmt.Errorf("portfolio: nil base scheduler")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Portfolio{base: base, opts: opts.WithDefaults()}, nil
+}
+
+// Name implements solver.Scheduler.
+func (p *Portfolio) Name() string { return "TSAJS-P" }
+
+// Chains returns K, the number of restarts per solve.
+func (p *Portfolio) Chains() int { return p.opts.Chains }
+
+// Options returns the resolved portfolio options.
+func (p *Portfolio) Options() solver.PortfolioOptions { return p.opts }
+
+// Schedule implements solver.Scheduler: a cold-started portfolio solve.
+func (p *Portfolio) Schedule(sc *scenario.Scenario, rng *simrand.Source) (solver.Result, error) {
+	return p.SolveFrom(sc, rng, nil)
+}
+
+// SolveFrom runs the portfolio warm-started from initial (nil means each
+// chain draws its own random feasible start). The initial decision is
+// cloned per chain, never mutated, and its server masks carry into every
+// chain, so masked servers cannot appear in the merged best assignment.
+func (p *Portfolio) SolveFrom(sc *scenario.Scenario, rng *simrand.Source, initial *assign.Assignment) (solver.Result, error) {
+	started := time.Now()
+	k := p.opts.Chains
+
+	// Derive every chain stream up front, in index order: stream identity
+	// must never depend on which worker picks a chain up first.
+	streams := make([]*simrand.Source, k)
+	for i := range streams {
+		streams[i] = ChainStream(rng, i)
+	}
+
+	var inc core.Incumbent
+	if p.opts.SharedIncumbent {
+		inc = newSharedIncumbent()
+	}
+
+	results := make([]solver.Result, k)
+	errs := make([]error, k)
+	var next atomic.Int64
+	next.Store(-1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One evaluator (and its scratch) per worker, reused across
+			// every chain the worker runs.
+			eval := objective.New(sc)
+			for {
+				i := int(next.Add(1))
+				if i >= k {
+					return
+				}
+				results[i], errs[i] = p.base.ScheduleChain(sc, streams[i], core.ChainOptions{
+					Evaluator: eval,
+					Initial:   initial,
+					Incumbent: inc,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic reduction: recompute every chain's utility with one
+	// fresh evaluator and scan in chain-index order. The strict > keeps
+	// the lowest chain index on ties, so the merged result is a pure
+	// function of (scenario, seed, K) — worker count and completion order
+	// never show through.
+	eval := objective.New(sc)
+	bestIdx := -1
+	bestJ := 0.0
+	evaluations := 0
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			return solver.Result{}, fmt.Errorf("portfolio: chain %d: %w", i, errs[i])
+		}
+		evaluations += results[i].Evaluations
+		if u := eval.SystemUtility(results[i].Assignment); bestIdx == -1 || u > bestJ {
+			bestIdx, bestJ = i, u
+		}
+	}
+	return solver.Finish(p.Name(), eval, results[bestIdx].Assignment, evaluations, started), nil
+}

@@ -47,3 +47,70 @@ func FuzzUnmarshalScenario(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScenarioCodec checks the codec round-trip on arbitrary input: any
+// blob the decoder accepts must encode to JSON that decodes again to an
+// equivalent scenario — same dimensions, same radio constants, and
+// bit-identical precomputed tables — and the encoding must be a fixed
+// point (encode∘decode∘encode == encode). A failure here means scenarios
+// silently mutate across save/load cycles.
+func FuzzScenarioCodec(f *testing.F) {
+	p := DefaultParams()
+	p.NumUsers = 3
+	p.NumServers = 2
+	p.NumChannels = 2
+	sc, err := Build(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"users":[],"servers":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var first Scenario
+		if err := json.Unmarshal(data, &first); err != nil {
+			return // rejected, fine
+		}
+		encoded, err := json.Marshal(&first)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to encode: %v", err)
+		}
+		var second Scenario
+		if err := json.Unmarshal(encoded, &second); err != nil {
+			t.Fatalf("own encoding rejected on decode: %v\nencoding: %s", err, encoded)
+		}
+		if second.U() != first.U() || second.S() != first.S() || second.N() != first.N() {
+			t.Fatalf("round-trip changed dimensions: (%d,%d,%d) -> (%d,%d,%d)",
+				first.U(), first.S(), first.N(), second.U(), second.S(), second.N())
+		}
+		if second.BandwidthHz != first.BandwidthHz || second.NoiseW != first.NoiseW ||
+			second.DownlinkRateBps != first.DownlinkRateBps || second.Seed != first.Seed {
+			t.Fatal("round-trip changed radio constants")
+		}
+		// The derived flat tables drive every objective evaluation; they
+		// must survive the trip bit for bit (JSON float encoding is
+		// shortest-round-trip, so exact equality is the right bar).
+		a, b := first.RecvPower(), second.RecvPower()
+		if len(a) != len(b) {
+			t.Fatalf("round-trip changed received-power table length %d -> %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("received-power table entry %d changed: %v -> %v", i, a[i], b[i])
+			}
+		}
+		again, err := json.Marshal(&second)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(again) != string(encoded) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:  %s\nsecond: %s", encoded, again)
+		}
+	})
+}

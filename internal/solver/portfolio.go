@@ -1,0 +1,55 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// PortfolioOptions configures the parallel multi-restart portfolio on the
+// public solve path: K independent chains of a stochastic scheduler run
+// concurrently and their results are merged by a deterministic reduction
+// (chain-index order, ties broken by the lower chain index), so the merged
+// output is bit-identical regardless of worker count or goroutine
+// scheduling. The type lives in the solver package so every consumer of
+// the Scheduler contract (experiments, the dynamic replay, the CLIs, the
+// facade) shares one options vocabulary without importing the portfolio
+// implementation.
+type PortfolioOptions struct {
+	// Chains is K, the number of independent restarts. 0 and 1 both mean a
+	// single chain.
+	Chains int `json:"chains"`
+	// Workers bounds concurrently running chains; 0 means GOMAXPROCS. The
+	// worker count affects wall-clock time only, never the merged result.
+	Workers int `json:"workers,omitempty"`
+	// SharedIncumbent publishes each chain's best utility to its peers so
+	// lagging chains trigger the threshold re-anneal early. This couples
+	// chains to scheduler timing and sacrifices run-to-run determinism;
+	// it defaults off so the deterministic mode stays canonical.
+	SharedIncumbent bool `json:"sharedIncumbent,omitempty"`
+}
+
+// Validate checks the options domain.
+func (o PortfolioOptions) Validate() error {
+	if o.Chains < 0 {
+		return fmt.Errorf("solver: portfolio chains must be non-negative, got %d", o.Chains)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("solver: portfolio workers must be non-negative, got %d", o.Workers)
+	}
+	return nil
+}
+
+// WithDefaults resolves the zero values: at least one chain, and a worker
+// pool capped at GOMAXPROCS and at the chain count.
+func (o PortfolioOptions) WithDefaults() PortfolioOptions {
+	if o.Chains <= 0 {
+		o.Chains = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Chains {
+		o.Workers = o.Chains
+	}
+	return o
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/report"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
@@ -65,6 +66,14 @@ type (
 	// MultiStart runs independent TTSA chains concurrently and keeps the
 	// best result.
 	MultiStart = core.MultiStart
+	// Portfolio is the parallel multi-restart TTSA solver: K seed-split
+	// chains over a bounded worker pool with a deterministic chain-index
+	// reduction, so the merged result is bit-identical regardless of
+	// worker count or goroutine scheduling.
+	Portfolio = portfolio.Portfolio
+	// PortfolioOptions configures a Portfolio (chain count, worker cap,
+	// optional non-deterministic shared-incumbent mode).
+	PortfolioOptions = solver.PortfolioOptions
 	// MoveWeights is the Algorithm 2 neighbourhood move mix.
 	MoveWeights = core.MoveWeights
 	// LocalSearchConfig parametrizes the LocalSearch baseline.
@@ -144,6 +153,16 @@ func NewTTSA(cfg Config) (*TTSA, error) { return core.New(cfg) }
 // the best result.
 func NewMultiStart(cfg Config, starts, parallelism int) (*MultiStart, error) {
 	return core.NewMultiStart(cfg, starts, parallelism)
+}
+
+// NewPortfolio returns the parallel multi-restart TTSA solver: opts.Chains
+// independent chains, seed-split from the Schedule rng, merged by a
+// deterministic reduction (chain-index order, ties to the lower index).
+// The same seed always yields the same assignment and utility, bit for
+// bit, whatever opts.Workers is — unless opts.SharedIncumbent trades that
+// determinism for faster convergence.
+func NewPortfolio(cfg Config, opts PortfolioOptions) (*Portfolio, error) {
+	return portfolio.New(cfg, opts)
 }
 
 // Baseline schedulers from the paper's evaluation.
