@@ -31,6 +31,21 @@ verify:
 	go test -race ./...
 	$(MAKE) fuzz-smoke
 
+# Coverage gate: the suite in short mode with a statement-coverage
+# profile, failing when total coverage drops below the ratcheted minimum.
+# Ratchet policy: when a PR raises total coverage, raise COVER_MIN to just
+# below the new total; never lower it. Inspect hot spots with
+#   go tool cover -html=coverprofile
+COVER_MIN ?= 78.0
+
+.PHONY: cover
+cover:
+	go test -short -coverprofile=coverprofile ./...
+	@total=$$(go tool cover -func=coverprofile | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+	  if (t+0 < min+0) { printf "FAIL: coverage %.1f%% below ratcheted minimum %.1f%%\n", t, min; exit 1 } \
+	  printf "coverage %.1f%% (ratcheted minimum %.1f%%)\n", t, min }'
+
 # Benchmark recording: run the full suite with -benchmem and persist a
 # machine-readable BENCH_<date>.json (ns/op, B/op, allocs/op, and custom
 # metrics such as solver utility) for regression tracking. Promote a run to

@@ -141,8 +141,19 @@ func solverBench(b *testing.B, sched solver.Scheduler, users int) {
 	b.ReportMetric(total/float64(b.N), "utility")
 }
 
-func BenchmarkSolveTSAJS_U30(b *testing.B)       { solverBench(b, tsajs.NewScheduler(), 30) }
-func BenchmarkSolveTSAJS_U60(b *testing.B)       { solverBench(b, tsajs.NewScheduler(), 60) }
+func BenchmarkSolveTSAJS_U30(b *testing.B) { solverBench(b, tsajs.NewScheduler(), 30) }
+func BenchmarkSolveTSAJS_U60(b *testing.B) { solverBench(b, tsajs.NewScheduler(), 60) }
+
+// BenchmarkSolveTSAJSInstrumented_U30 is the overhead gate for solver
+// instrumentation: the BenchmarkSolveTSAJS_U30 workload with the full
+// metrics pipeline attached. Telemetry accumulates in plain locals inside
+// the annealing loop and flushes to atomics once per solve, so ns/op and
+// the utility metric must match the uninstrumented row within noise.
+func BenchmarkSolveTSAJSInstrumented_U30(b *testing.B) {
+	reg := tsajs.NewMetricsRegistry()
+	sched := core.NewDefault().WithObserver(tsajs.NewSolverMetrics(reg))
+	solverBench(b, sched, 30)
+}
 func BenchmarkSolveHJTORA_U30(b *testing.B)      { solverBench(b, tsajs.NewHJTORA(), 30) }
 func BenchmarkSolveHJTORA_U60(b *testing.B)      { solverBench(b, tsajs.NewHJTORA(), 60) }
 func BenchmarkSolveLocalSearch_U30(b *testing.B) { solverBench(b, tsajs.NewLocalSearch(), 30) }

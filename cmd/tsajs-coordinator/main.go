@@ -5,15 +5,21 @@
 // Usage:
 //
 //	tsajs-coordinator -listen 127.0.0.1:7600 -servers 9 -channels 3
+//	tsajs-coordinator -metrics-addr 127.0.0.1:7601   # + HTTP introspection
 //
 // Clients speak newline-delimited JSON (see internal/cran); the quickest
-// way to exercise a running coordinator is examples/coordinated.
+// way to exercise a running coordinator is examples/coordinated. With
+// -metrics-addr set, the coordinator additionally serves /metrics
+// (Prometheus text), /stats (the Stats snapshot as JSON), /healthz, and
+// the net/http/pprof profiling handlers under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +52,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (negative disables)")
 		maxLine     = fs.Int("max-line-bytes", 1<<20, "maximum request line length on the wire [bytes]")
 		maxConns    = fs.Int("max-conns", 256, "maximum concurrently served connections")
+
+		metricsAddr = fs.String("metrics-addr", "",
+			"HTTP introspection listen address serving /metrics (Prometheus), /stats (JSON), /healthz and /debug/pprof/ (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +66,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	ttsaCfg := tsajs.DefaultConfig()
 	ttsaCfg.MaxEvaluations = *budget
 
+	reg := tsajs.NewMetricsRegistry()
 	srv, err := tsajs.NewCoordinator(*listen, tsajs.CoordinatorConfig{
 		Params:       params,
 		BatchWindow:  *window,
@@ -66,6 +76,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		ReadTimeout:  *readTimeout,
 		MaxLineBytes: *maxLine,
 		MaxConns:     *maxConns,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err
@@ -73,6 +84,18 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	defer srv.Close()
 	fmt.Fprintf(stdout, "coordinator listening on %s (S=%d, N=%d, window=%s)\n",
 		srv.Addr(), *servers, *channels, *window)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		httpSrv := &http.Server{Handler: tsajs.MetricsMux(reg, func() any { return srv.Stats() })}
+		defer httpSrv.Close()
+		go func() { _ = httpSrv.Serve(mln) }()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	if stop == nil {
 		sig := make(chan os.Signal, 1)

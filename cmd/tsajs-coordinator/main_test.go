@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -68,6 +71,120 @@ func TestCoordinatorServesUntilStopped(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("coordinator did not stop")
+	}
+}
+
+// TestCoordinatorIntrospectionEndpoint spawns a coordinator with
+// -metrics-addr and scrapes /metrics, /stats, and /healthz over HTTP — the
+// smoke test that the introspection endpoint actually serves what the docs
+// promise.
+func TestCoordinatorIntrospectionEndpoint(t *testing.T) {
+	stop := make(chan struct{})
+	var sb strings.Builder
+	var mu sync.Mutex
+	out := &lockedWriter{sb: &sb, mu: &mu}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-servers", "3", "-channels", "2", "-window", "10ms", "-budget", "500",
+		}, out, stop)
+	}()
+	defer func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Error(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("coordinator did not stop")
+		}
+	}()
+
+	banner := func(marker string) string {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("coordinator never printed %q", marker)
+			}
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			text := sb.String()
+			mu.Unlock()
+			if i := strings.Index(text, marker); i >= 0 {
+				return strings.Fields(text[i+len(marker):])[0]
+			}
+		}
+	}
+	addr := banner("listening on ")
+	metricsURL := banner("metrics on ")
+
+	// Send one request so the counters are non-trivial.
+	cli, err := tsajs.DialCoordinator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Offload(ctx, tsajs.OffloadRequest{
+		UserID: "scrape-test",
+		Pos:    tsajs.Point{X: 0.1, Y: 0.1},
+		Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 2e9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	base := strings.TrimSuffix(metricsURL, "/metrics")
+	metrics := get(metricsURL)
+	for _, want := range []string{
+		"tsajs_coordinator_requests_total 1",
+		"# TYPE tsajs_coordinator_solve_seconds histogram",
+		`tsajs_solver_solves_total{scheme="TSAJS"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var stats struct {
+		Requests uint64 `json:"requests"`
+		Epochs   uint64 `json:"epochs"`
+	}
+	if err := json.Unmarshal([]byte(get(base+"/stats")), &stats); err != nil {
+		t.Fatalf("/stats is not JSON: %v", err)
+	}
+	if stats.Requests != 1 || stats.Epochs != 1 {
+		t.Errorf("/stats = %+v, want 1 request over 1 epoch", stats)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(get(base+"/healthz")), &health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q", health.Status)
 	}
 }
 

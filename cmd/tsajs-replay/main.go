@@ -48,6 +48,9 @@ func run(args []string, stdout io.Writer) error {
 		coordRecover = fs.Float64("coord-recover-prob", 0.5, "per-epoch coordinator recovery probability")
 		minUp        = fs.Int("min-up", 1, "minimum edge servers kept up per epoch")
 		faultSeed    = fs.Uint64("fault-seed", 7, "fault-plan seed (independent of -seed)")
+
+		metricsOut = fs.String("metrics-out",
+			"", "write the run's metrics in Prometheus text format to this file after the replay (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +79,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var reg *tsajs.MetricsRegistry
+	if *metricsOut != "" {
+		reg = tsajs.NewMetricsRegistry()
+	}
 	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
 		Params:       params,
 		Epochs:       *epochs,
@@ -86,6 +93,7 @@ func run(args []string, stdout io.Writer) error {
 		WarmStart:    *warm,
 		TTSAConfig:   &ttsaCfg,
 		Seed:         *seed,
+		Metrics:      reg,
 		FaultPlan:    plan,
 	})
 	if err != nil {
@@ -109,6 +117,16 @@ func run(args []string, stdout io.Writer) error {
 	if plan != nil {
 		fmt.Fprintf(stdout, "faults: server-availability=%.3f coordinator-availability=%.3f degraded-epochs=%d evacuated=%d\n",
 			res.ServerAvailability, res.CoordinatorAvailability, res.DegradedEpochs, res.TotalEvacuated)
+	}
+	if reg != nil {
+		if *metricsOut == "-" {
+			fmt.Fprintln(stdout)
+			if _, err := stdout.Write(reg.PrometheusText()); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*metricsOut, reg.PrometheusText(), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

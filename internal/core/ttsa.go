@@ -11,6 +11,7 @@ import (
 // concurrent Schedule calls.
 type TTSA struct {
 	cfg Config
+	obs solver.SolveObserver
 }
 
 var _ solver.Scheduler = (*TTSA)(nil)
@@ -34,6 +35,20 @@ func NewDefault() *TTSA {
 
 // Config returns the scheduler's configuration.
 func (t *TTSA) Config() Config { return t.cfg }
+
+// WithObserver returns a copy of the scheduler reporting per-solve
+// telemetry (solver.SolveStats) to o after every successful solve. The
+// observer is strictly passive: it is called once per solve with counts the
+// walk maintains anyway, consumes no randomness, and therefore changes
+// neither the walk nor the returned result — instrumented and
+// uninstrumented schedulers are bit-identical per seed. o must be safe for
+// concurrent use if the scheduler is shared across goroutines (portfolio
+// chains report concurrently). A nil o returns an unobserved copy.
+func (t *TTSA) WithObserver(o solver.SolveObserver) *TTSA {
+	c := *t
+	c.obs = o
+	return &c
+}
 
 // Name implements solver.Scheduler.
 func (t *TTSA) Name() string { return "TSAJS" }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tsajs/tsajs/internal/obs"
 	"github.com/tsajs/tsajs/internal/simrand"
 	"github.com/tsajs/tsajs/internal/task"
 )
@@ -63,6 +64,11 @@ type ResilienceConfig struct {
 	// Dialer overrides the transport dial, letting tests inject chaos
 	// wrappers or outage simulations. Nil uses TCP.
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Metrics, when non-nil, receives the client's resilience telemetry:
+	// attempts, retries, redials, transport failures, breaker fast-fails,
+	// and graceful degradations (obs.NewClientMetrics builds one backed by
+	// a registry). Every update is a single atomic increment.
+	Metrics *obs.ClientMetrics
 }
 
 func (rc ResilienceConfig) withDefaults() ResilienceConfig {
@@ -249,11 +255,18 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 		}
 		if c.breakerOpen() {
 			lastErr = ErrCircuitOpen
+			c.countMetric(func(m *obs.ClientMetrics) { m.BreakerFastFails.Inc() })
 			break
 		}
 		if attempt > 0 && !c.sleepBackoff(ctx, attempt) {
 			break // context expired or client closed during backoff
 		}
+		c.countMetric(func(m *obs.ClientMetrics) {
+			m.Attempts.Inc()
+			if attempt > 0 {
+				m.Retries.Inc()
+			}
+		})
 		resp, err := c.exchange(ctx, req)
 		if err == nil {
 			c.fails = 0
@@ -269,6 +282,7 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 
 	if c.rc.DegradeLocal && !c.isClosed() {
 		if resp, err := c.localDecision(req); err == nil {
+			c.countMetric(func(m *obs.ClientMetrics) { m.Degraded.Inc() })
 			return resp, nil
 		}
 	}
@@ -332,6 +346,7 @@ func (c *Client) ensureConn(ctx context.Context) error {
 	}
 	c.conn = conn
 	c.connMu.Unlock()
+	c.countMetric(func(m *obs.ClientMetrics) { m.Dials.Inc() })
 	c.rd = bufio.NewReader(conn)
 	c.enc = json.NewEncoder(conn)
 	return nil
@@ -404,6 +419,14 @@ func (c *Client) recordFailure() {
 	c.fails++
 	if c.rc.BreakerThreshold > 0 && c.fails >= c.rc.BreakerThreshold {
 		c.openAt = time.Now()
+	}
+	c.countMetric(func(m *obs.ClientMetrics) { m.TransportFailures.Inc() })
+}
+
+// countMetric applies fn to the configured metrics sink, if any.
+func (c *Client) countMetric(fn func(*obs.ClientMetrics)) {
+	if c.rc.Metrics != nil {
+		fn(c.rc.Metrics)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/obs"
 	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
@@ -54,6 +55,11 @@ type ServerConfig struct {
 	// Listener, when non-nil, serves on the provided listener instead of
 	// binding addr — the hook tests use to interpose chaos wrappers.
 	Listener net.Listener
+	// Metrics, when non-nil, is the registry the server registers its
+	// tsajs_coordinator_* metrics in, letting the embedding process serve
+	// them alongside its own (the coordinator CLI's -metrics-addr endpoint).
+	// Nil creates a private registry, reachable via Server.Metrics.
+	Metrics *obs.Registry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -119,9 +125,10 @@ type Server struct {
 	submit  chan pending
 	started time.Time
 
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	stats statsCollector
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	metrics *obs.Registry
+	stats   *statsCollector
 
 	mu     sync.Mutex
 	closed bool
@@ -150,6 +157,15 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("cran: listen: %w", err)
 		}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// The epoch scheduler reports per-solve telemetry (stage counts,
+	// acceptance balance, threshold activations) into the same registry.
+	// Observation is passive and per-epoch, so scheduling results and
+	// latency are unchanged.
+	ttsa = ttsa.WithObserver(obs.NewSolverMetrics(reg))
 	s := &Server{
 		cfg:     cfg,
 		ttsa:    ttsa,
@@ -158,6 +174,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		rng:     simrand.New(cfg.Seed),
 		submit:  make(chan pending),
 		quit:    make(chan struct{}),
+		metrics: reg,
+		stats:   newStatsCollector(reg),
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
 	}
@@ -236,7 +254,9 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.conns[conn] = struct{}{}
+		active := len(s.conns)
 		s.mu.Unlock()
+		s.stats.activeConns.Set(float64(active))
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -254,7 +274,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		active := len(s.conns)
 		s.mu.Unlock()
+		s.stats.activeConns.Set(float64(active))
 	}()
 	scanner := bufio.NewScanner(conn)
 	initial := 64 * 1024
@@ -306,9 +328,13 @@ func (s *Server) handle(line []byte) OffloadResponse {
 		return s.handleHealth(req)
 	}
 	p := pending{req: req, reply: make(chan OffloadResponse, 1)}
+	// Count the request before handing it to the batcher: once the send
+	// succeeds the epoch goroutine may schedule it (incrementing the
+	// decision counters) at any moment, and the Offloaded+Local ≤ Requests
+	// snapshot invariant needs Requests to be visible first.
+	s.stats.requestEntered()
 	select {
 	case s.submit <- p:
-		s.stats.requestEntered()
 	case <-s.quit:
 		s.stats.requestRejected()
 		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}

@@ -1,16 +1,22 @@
 package cran
 
 import (
-	"sync"
 	"time"
+
+	"github.com/tsajs/tsajs/internal/obs"
 )
 
-// Stats is a snapshot of a coordinator's operational counters.
+// Stats is a snapshot of a coordinator's operational counters. It is a
+// rendered view over the server's lock-free metrics registry: every field
+// is derived from an atomic counter, gauge, or histogram, so producing a
+// snapshot never contends with the request hot path.
 type Stats struct {
 	// Epochs is the number of scheduling rounds run.
 	Epochs uint64 `json:"epochs"`
-	// Requests counts requests that entered batching; Rejected counts
-	// malformed/invalid/shutdown-failed requests.
+	// Requests counts valid offloading requests admitted toward batching
+	// (a request caught by shutdown after admission is also counted in
+	// Rejected); Rejected counts malformed/invalid/shutdown-failed
+	// requests.
 	Requests uint64 `json:"requests"`
 	Rejected uint64 `json:"rejected"`
 	// Offloaded and Local count the decisions returned.
@@ -33,69 +39,112 @@ type Stats struct {
 	ThrottledConns uint64 `json:"throttledConns"`
 }
 
-// statsCollector accumulates counters behind a mutex; the batch loop and
-// connection handlers update it concurrently.
+// statsCollector owns the coordinator's metrics, all registered in the
+// server's obs.Registry so they surface on /metrics too. Every update is a
+// lock-free atomic operation: the former mutex (which serialized every
+// connection handler against every snapshot on the request hot path) is
+// gone entirely.
 type statsCollector struct {
-	mu sync.Mutex
-	s  Stats
+	epochs    *obs.Counter
+	requests  *obs.Counter
+	rejected  *obs.Counter
+	offloaded *obs.Counter
+	local     *obs.Counter
+
+	healthChecks *obs.Counter
+	panics       *obs.Counter
+	oversize     *obs.Counter
+	throttled    *obs.Counter
+
+	maxBatch    *obs.Gauge
+	activeConns *obs.Gauge
+	batch       *obs.Histogram
+	solve       *obs.Histogram
+	utility     *obs.Histogram
 }
 
-func (c *statsCollector) requestEntered() {
-	c.mu.Lock()
-	c.s.Requests++
-	c.mu.Unlock()
+func newStatsCollector(reg *obs.Registry) *statsCollector {
+	return &statsCollector{
+		epochs: reg.Counter("tsajs_coordinator_epochs_total",
+			"Scheduling rounds (epochs) run."),
+		requests: reg.Counter("tsajs_coordinator_requests_total",
+			"Offloading requests that entered epoch batching."),
+		rejected: reg.Counter("tsajs_coordinator_rejected_total",
+			"Requests rejected: malformed, invalid, or failed during shutdown or scheduling."),
+		offloaded: reg.Counter("tsajs_coordinator_offloaded_total",
+			"Decisions that sent the task to a MEC server."),
+		local: reg.Counter("tsajs_coordinator_local_total",
+			"Decisions that kept the task on the device."),
+		healthChecks: reg.Counter("tsajs_coordinator_health_checks_total",
+			"TypeHealth probes answered."),
+		panics: reg.Counter("tsajs_coordinator_panics_recovered_total",
+			"Panics confined to one connection or epoch."),
+		oversize: reg.Counter("tsajs_coordinator_oversize_requests_total",
+			"Request lines rejected for exceeding the wire size limit."),
+		throttled: reg.Counter("tsajs_coordinator_throttled_conns_total",
+			"Connections refused at the concurrent-connection cap."),
+		maxBatch: reg.Gauge("tsajs_coordinator_max_batch",
+			"Largest epoch batch scheduled so far."),
+		activeConns: reg.Gauge("tsajs_coordinator_active_conns",
+			"Currently served connections."),
+		batch: reg.Histogram("tsajs_coordinator_batch_size",
+			"Requests batched per epoch.", obs.DefaultBatchEdges),
+		solve: reg.Histogram("tsajs_coordinator_solve_seconds",
+			"Scheduler wall time per epoch.", obs.DefaultLatencyEdges),
+		utility: reg.Histogram("tsajs_coordinator_epoch_utility",
+			"Achieved system utility per epoch.", obs.DefaultUtilityEdges),
+	}
 }
 
-func (c *statsCollector) requestRejected() {
-	c.mu.Lock()
-	c.s.Rejected++
-	c.mu.Unlock()
-}
+func (c *statsCollector) requestEntered()  { c.requests.Inc() }
+func (c *statsCollector) requestRejected() { c.rejected.Inc() }
+func (c *statsCollector) healthServed()    { c.healthChecks.Inc() }
+func (c *statsCollector) panicRecovered()  { c.panics.Inc() }
+func (c *statsCollector) oversizeRequest() { c.oversize.Inc() }
+func (c *statsCollector) connThrottled()   { c.throttled.Inc() }
 
 func (c *statsCollector) epochScheduled(batch, offloaded int, solve time.Duration, utility float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.s.Epochs++
-	c.s.Offloaded += uint64(offloaded)
-	c.s.Local += uint64(batch - offloaded)
-	if batch > c.s.MaxBatch {
-		c.s.MaxBatch = batch
-	}
-	// Incremental mean over epochs.
-	c.s.MeanBatch += (float64(batch) - c.s.MeanBatch) / float64(c.s.Epochs)
-	c.s.TotalSolveTime += solve
-	c.s.UtilitySum += utility
+	c.epochs.Inc()
+	c.offloaded.Add(uint64(offloaded))
+	c.local.Add(uint64(batch - offloaded))
+	c.maxBatch.SetMax(float64(batch))
+	c.batch.Observe(float64(batch))
+	c.solve.Observe(solve.Seconds())
+	c.utility.Observe(utility)
 }
 
-func (c *statsCollector) healthServed() {
-	c.mu.Lock()
-	c.s.HealthChecks++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) panicRecovered() {
-	c.mu.Lock()
-	c.s.PanicsRecovered++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) oversizeRequest() {
-	c.mu.Lock()
-	c.s.OversizeRequests++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) connThrottled() {
-	c.mu.Lock()
-	c.s.ThrottledConns++
-	c.mu.Unlock()
-}
-
+// snapshot renders the Stats view. Counters are read individually, so a
+// snapshot taken mid-epoch is not a single consistent cut — but the read
+// order preserves the invariant consumers rely on: decisions (Offloaded,
+// Local) are read before Requests, and every scheduled request incremented
+// Requests before it could produce a decision, so Offloaded+Local ≤
+// Requests holds in every snapshot.
 func (c *statsCollector) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s
+	var s Stats
+	s.Offloaded = c.offloaded.Value()
+	s.Local = c.local.Value()
+	s.Epochs = c.epochs.Value()
+	s.Rejected = c.rejected.Value()
+	s.Requests = c.requests.Value()
+
+	s.MaxBatch = int(c.maxBatch.Value())
+	batch := c.batch.Snapshot()
+	if n := batch.Count(); n > 0 {
+		s.MeanBatch = batch.Sum / float64(n)
+	}
+	s.TotalSolveTime = time.Duration(c.solve.Snapshot().Sum * float64(time.Second))
+	s.UtilitySum = c.utility.Snapshot().Sum
+
+	s.HealthChecks = c.healthChecks.Value()
+	s.PanicsRecovered = c.panics.Value()
+	s.OversizeRequests = c.oversize.Value()
+	s.ThrottledConns = c.throttled.Value()
+	return s
 }
 
 // Stats returns a snapshot of the coordinator's counters.
 func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Metrics returns the coordinator's metrics registry — the live source the
+// Stats snapshot is rendered from, servable over HTTP with obs.Mux.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }

@@ -1,0 +1,200 @@
+package cran
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/obs"
+)
+
+// TestStatsConsistentUnderConcurrentLoad is the regression test for the
+// statsCollector hot-path rework: 100 clients hammer the coordinator
+// concurrently (valid and malformed requests interleaved) while a poller
+// snapshots Stats throughout. The former mutex is gone — every counter is
+// a lock-free atomic — so under -race this doubles as the data-race proof,
+// and the assertions pin the consistency contract: counters are monotone
+// across snapshots and scheduled decisions never exceed admitted requests
+// (Requests ≥ Offloaded + Local).
+func TestStatsConsistentUnderConcurrentLoad(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.BatchWindow = 2 * time.Millisecond
+	ttsaCfg := *cfg.TTSA
+	ttsaCfg.MaxEvaluations = 200
+	cfg.TTSA = &ttsaCfg
+	srv := startServer(t, cfg)
+
+	const clients = 100
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Poll snapshots while the load runs: every observed snapshot must be
+	// monotone in every counter and respect Offloaded+Local ≤ Requests.
+	pollDone := make(chan struct{})
+	var stop atomic.Bool
+	var pollErr error
+	go func() {
+		defer close(pollDone)
+		var prev Stats
+		for !stop.Load() {
+			s := srv.Stats()
+			if s.Offloaded+s.Local > s.Requests {
+				pollErr = fmt.Errorf("snapshot schedules more than admitted: offloaded=%d local=%d requests=%d",
+					s.Offloaded, s.Local, s.Requests)
+				return
+			}
+			if s.Requests < prev.Requests || s.Rejected < prev.Rejected ||
+				s.Offloaded < prev.Offloaded || s.Local < prev.Local || s.Epochs < prev.Epochs {
+				pollErr = fmt.Errorf("counters went backwards: %+v after %+v", s, prev)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cli.Close()
+			// Every third client first sends a structurally valid but
+			// invalid request (negative workload), which the server rejects
+			// without entering batching.
+			if i%3 == 0 {
+				bad := testRequest(fmt.Sprintf("bad-%d", i), 0.1, 0.1)
+				bad.Task.WorkCycles = -1
+				if _, err := cli.Offload(ctx, bad); err == nil {
+					errs[i] = fmt.Errorf("invalid request accepted")
+					return
+				} else if !strings.Contains(err.Error(), "rejected") {
+					errs[i] = err
+					return
+				}
+			}
+			_, err = cli.Offload(ctx, testRequest(fmt.Sprintf("user-%d", i), 0.2, 0.1))
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-pollDone
+	if pollErr != nil {
+		t.Fatal(pollErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Quiescent final snapshot: every admitted request was scheduled, every
+	// invalid one rejected, and the epoch aggregates are coherent.
+	s := srv.Stats()
+	if s.Requests != uint64(clients) {
+		t.Errorf("requests = %d, want %d", s.Requests, clients)
+	}
+	if s.Offloaded+s.Local != s.Requests {
+		t.Errorf("offloaded %d + local %d != requests %d", s.Offloaded, s.Local, s.Requests)
+	}
+	if want := uint64((clients + 2) / 3); s.Rejected != want {
+		t.Errorf("rejected = %d, want %d", s.Rejected, want)
+	}
+	if s.Epochs == 0 || s.MaxBatch < 1 || s.MeanBatch <= 0 {
+		t.Errorf("epoch aggregates missing: %+v", s)
+	}
+	if s.TotalSolveTime <= 0 {
+		t.Errorf("total solve time = %s", s.TotalSolveTime)
+	}
+}
+
+// TestServerMetricsRegistry checks the Stats snapshot and the Prometheus
+// rendering agree — Stats is a view over the same registry the /metrics
+// endpoint serves.
+func TestServerMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testServerConfig()
+	cfg.Metrics = reg
+	srv := startServer(t, cfg)
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cli.Offload(ctx, testRequest("m-1", 0.1, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if srv.Metrics() != reg {
+		t.Fatal("server did not adopt the provided registry")
+	}
+	text := string(reg.PrometheusText())
+	for _, want := range []string{
+		"tsajs_coordinator_requests_total 1",
+		"tsajs_coordinator_epochs_total 1",
+		"# TYPE tsajs_coordinator_batch_size histogram",
+		`tsajs_solver_solves_total{scheme="TSAJS"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+
+	s := srv.Stats()
+	if s.Requests != 1 || s.Epochs != 1 || s.Offloaded+s.Local != 1 {
+		t.Errorf("stats view inconsistent: %+v", s)
+	}
+}
+
+// TestClientMetricsCountRetriesAndDegradation drives the resilient client
+// against a dead address and checks the resilience counters.
+func TestClientMetricsCountRetriesAndDegradation(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewClientMetrics(reg)
+	cli, err := DialResilient("127.0.0.1:1", ResilienceConfig{
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BreakerThreshold: -1,
+		DialTimeout:      100 * time.Millisecond,
+		Metrics:          m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Offload(ctx, testRequest("degraded", 0.1, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatalf("expected degraded response, got %+v", resp)
+	}
+	if got := m.Attempts.Value(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if got := m.Retries.Value(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := m.TransportFailures.Value(); got != 2 {
+		t.Errorf("transport failures = %d, want 2", got)
+	}
+	if got := m.Degraded.Value(); got != 1 {
+		t.Errorf("degraded = %d, want 1", got)
+	}
+}

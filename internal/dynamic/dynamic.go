@@ -17,6 +17,7 @@ import (
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/mobility"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/obs"
 	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
@@ -63,6 +64,14 @@ type Config struct {
 	// Seed drives the entire simulation (mobility, arrivals, channel,
 	// search).
 	Seed uint64
+	// Metrics, when non-nil, receives the run's observability stream: the
+	// tsajs_replay_* per-epoch counters and histograms, plus the
+	// tsajs_solver_* per-solve telemetry of the underlying TTSA (or
+	// portfolio) scheduler. Observation is passive — a run with metrics
+	// returns decisions bit-identical to the same run without. Requires the
+	// built-in TTSA scheduler for the solver stream; a custom Scheduler
+	// still gets the epoch stream.
+	Metrics *obs.Registry
 	// FaultPlan, when non-nil, injects the plan's failures into the run:
 	// epochs where the coordinator is down degrade every active user to
 	// local execution, and failed edge servers are masked out of the search
@@ -174,6 +183,8 @@ func Run(cfg Config) (*Result, error) {
 	radioRNG := root.Derive(0x72616469) // "radi"
 	solveRNG := root.Derive(0x736f6c76) // "solv"
 
+	em := newEpochMetrics(cfg.Metrics)
+
 	sched := cfg.Scheduler
 	var ttsa *core.TTSA
 	var pf *portfolio.Portfolio
@@ -187,6 +198,11 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Metrics != nil {
+			// Passive per-solve telemetry; the walk and its decisions are
+			// unchanged (see core.TTSA.WithObserver).
+			ttsa = ttsa.WithObserver(obs.NewSolverMetrics(cfg.Metrics))
+		}
 		sched = ttsa
 		if cfg.Chains > 1 {
 			pf, err = portfolio.Wrap(ttsa, solver.PortfolioOptions{
@@ -195,6 +211,9 @@ func Run(cfg Config) (*Result, error) {
 			})
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Metrics != nil {
+				pf = pf.WithObserver(obs.NewSolverMetrics(cfg.Metrics))
 			}
 			sched = pf
 		}
@@ -242,11 +261,11 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if len(active) == 0 {
-			res.Epochs = append(res.Epochs, EpochMetrics{
+			res.Epochs = append(res.Epochs, em.observe(EpochMetrics{
 				Epoch:           epoch,
 				DownServers:     len(down),
 				CoordinatorDown: coordDown,
-			})
+			}))
 			continue
 		}
 
@@ -271,7 +290,7 @@ func Run(cfg Config) (*Result, error) {
 			for i := range prevSlots {
 				prevSlots[i] = [2]int{assign.Local, assign.Local}
 			}
-			res.Epochs = append(res.Epochs, EpochMetrics{
+			res.Epochs = append(res.Epochs, em.observe(EpochMetrics{
 				Epoch:           epoch,
 				Active:          len(active),
 				Utility:         rep.SystemUtility,
@@ -279,7 +298,7 @@ func Run(cfg Config) (*Result, error) {
 				MeanEnergyJ:     rep.MeanEnergyJ,
 				DownServers:     len(down),
 				CoordinatorDown: true,
-			})
+			}))
 			continue
 		}
 
@@ -341,7 +360,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		rep := objective.New(sc).Evaluate(solveRes.Assignment)
-		res.Epochs = append(res.Epochs, EpochMetrics{
+		res.Epochs = append(res.Epochs, em.observe(EpochMetrics{
 			Epoch:       epoch,
 			Active:      len(active),
 			Offloaded:   solveRes.Assignment.Offloaded(),
@@ -353,7 +372,7 @@ func Run(cfg Config) (*Result, error) {
 			WarmStarted: warm,
 			DownServers: len(down),
 			Evacuated:   evacuated,
-		})
+		}))
 	}
 
 	for _, e := range res.Epochs {
@@ -456,6 +475,67 @@ func warmStart(sc *scenario.Scenario, active []int, prevSlots [][2]int) *assign.
 		return nil
 	}
 	return a
+}
+
+// epochMetrics streams per-epoch replay telemetry into a registry as the
+// simulation runs, so a long replay can be scraped live. A nil recorder
+// (no registry configured) is a no-op.
+type epochMetrics struct {
+	epochs    *obs.Counter
+	degraded  *obs.Counter
+	evacuated *obs.Counter
+	warm      *obs.Counter
+	offloaded *obs.Counter
+	active    *obs.Histogram
+	utility   *obs.Histogram
+	solve     *obs.Histogram
+}
+
+func newEpochMetrics(reg *obs.Registry) *epochMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &epochMetrics{
+		epochs: reg.Counter("tsajs_replay_epochs_total",
+			"Simulated scheduling rounds."),
+		degraded: reg.Counter("tsajs_replay_degraded_epochs_total",
+			"Epochs degraded to all-local execution by a coordinator outage."),
+		evacuated: reg.Counter("tsajs_replay_evacuations_total",
+			"Warm-started users displaced from failed edge servers."),
+		warm: reg.Counter("tsajs_replay_warm_started_epochs_total",
+			"Epochs whose search reused the previous decision."),
+		offloaded: reg.Counter("tsajs_replay_offloaded_total",
+			"Per-epoch decisions that sent a task to a MEC server."),
+		active: reg.Histogram("tsajs_replay_active_users",
+			"Users holding a task per epoch.", obs.DefaultBatchEdges),
+		utility: reg.Histogram("tsajs_replay_epoch_utility",
+			"Achieved system utility per epoch.", obs.DefaultUtilityEdges),
+		solve: reg.Histogram("tsajs_replay_solve_seconds",
+			"Scheduler wall time per epoch.", obs.DefaultLatencyEdges),
+	}
+}
+
+// observe records one epoch and returns it unchanged, so it can wrap the
+// EpochMetrics literal at each append site.
+func (m *epochMetrics) observe(e EpochMetrics) EpochMetrics {
+	if m == nil {
+		return e
+	}
+	m.epochs.Inc()
+	if e.CoordinatorDown {
+		m.degraded.Inc()
+	}
+	if e.WarmStarted {
+		m.warm.Inc()
+	}
+	m.evacuated.Add(uint64(e.Evacuated))
+	m.offloaded.Add(uint64(e.Offloaded))
+	m.active.Observe(float64(e.Active))
+	if e.Active > 0 && !e.CoordinatorDown {
+		m.utility.Observe(e.Utility)
+		m.solve.Observe(e.SolveTime.Seconds())
+	}
+	return e
 }
 
 func txPowerW(p scenario.Params) float64 {

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenRegistry builds a registry whose rendering exercises every branch of
+// the exposition format: all three kinds, labelled and unlabelled series,
+// multiple series per family, label-value escaping, and non-finite floats.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	reg.Counter("tsajs_test_requests_total", "Requests handled.").Add(42)
+	reg.Counter("tsajs_test_requests_total", "Requests handled.",
+		Label{Key: "scheme", Value: "TSAJS"}).Add(7)
+	// Registration order deliberately differs from sort order: "ALO" < "TSAJS".
+	reg.Counter("tsajs_test_requests_total", "Requests handled.",
+		Label{Key: "scheme", Value: "ALO"}).Inc()
+
+	reg.Gauge("tsajs_test_temperature", "Current annealing temperature.").Set(0.125)
+	reg.Gauge("tsajs_test_ratio", "A gauge stuck at +Inf.").Set(math.Inf(1))
+
+	// Label value with every escapable character: backslash, quote, newline.
+	reg.Counter("tsajs_test_escapes_total", `Help with a \ backslash
+and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
+
+	h := reg.Histogram("tsajs_test_delay_seconds", "Per-task delay.",
+		[]float64{0.1, 0.5, 2.5})
+	for _, v := range []float64{0.05, 0.3, 0.3, 1.0, 99} {
+		h.Observe(v)
+	}
+	reg.Histogram("tsajs_test_empty_seconds", "Histogram with no observations.",
+		[]float64{1, 2})
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	checkGolden(t, "registry.prom", goldenRegistry().PrometheusText())
+}
+
+func TestGoldenJSON(t *testing.T) {
+	got, err := goldenRegistry().RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON endpoint must stay parseable even with +Inf gauges in play.
+	var round map[string][]SeriesJSON
+	if err := json.Unmarshal(got, &round); err != nil {
+		t.Fatalf("golden JSON does not round-trip: %v", err)
+	}
+	checkGolden(t, "registry.json", append(got, '\n'))
+}
+
+// TestGoldenStableAcrossRegistrationOrder re-registers the same metrics in a
+// different order and asserts the rendering is byte-identical — ordering
+// comes from sorting, not registration history.
+func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("tsajs_test_empty_seconds", "Histogram with no observations.",
+		[]float64{1, 2})
+	h := reg.Histogram("tsajs_test_delay_seconds", "Per-task delay.",
+		[]float64{0.1, 0.5, 2.5})
+	for _, v := range []float64{0.05, 0.3, 0.3, 1.0, 99} {
+		h.Observe(v)
+	}
+	reg.Counter("tsajs_test_escapes_total", `Help with a \ backslash
+and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
+	reg.Gauge("tsajs_test_ratio", "A gauge stuck at +Inf.").Set(math.Inf(1))
+	reg.Gauge("tsajs_test_temperature", "Current annealing temperature.").Set(0.125)
+	reg.Counter("tsajs_test_requests_total", "Requests handled.",
+		Label{Key: "scheme", Value: "ALO"}).Inc()
+	reg.Counter("tsajs_test_requests_total", "Requests handled.",
+		Label{Key: "scheme", Value: "TSAJS"}).Add(7)
+	reg.Counter("tsajs_test_requests_total", "Requests handled.").Add(42)
+
+	if got, want := reg.PrometheusText(), goldenRegistry().PrometheusText(); !bytes.Equal(got, want) {
+		t.Errorf("rendering depends on registration order:\n--- reordered ---\n%s\n--- canonical ---\n%s", got, want)
+	}
+}

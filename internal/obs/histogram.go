@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free fixed-bucket histogram. A value v falls in the
+// first bucket whose upper edge satisfies v <= edge (Prometheus `le`
+// semantics); values above the last edge — and NaN, which compares false
+// against every edge — land in the implicit +Inf overflow bucket. Observe
+// is one binary search plus two atomic operations, safe for concurrent use.
+type Histogram struct {
+	edges   []float64
+	counts  []atomic.Uint64 // len(edges)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given bucket edges, which must
+// be strictly ascending, finite, and non-empty.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("histogram needs at least one bucket edge")
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("histogram edge %d is not finite: %g", i, e)
+		}
+		if i > 0 && e <= edges[i-1] {
+			return nil, fmt.Errorf("histogram edges must be strictly ascending, got %g after %g", e, edges[i-1])
+		}
+	}
+	own := make([]float64, len(edges))
+	copy(own, edges)
+	return &Histogram{edges: own, counts: make([]atomic.Uint64, len(edges)+1)}, nil
+}
+
+// Edges returns the bucket upper edges (without the implicit +Inf).
+func (h *Histogram) Edges() []float64 {
+	out := make([]float64, len(h.edges))
+	copy(out, h.edges)
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.edges, v) // first edge >= v; len(edges) on overflow/NaN
+	h.counts[i].Add(1)
+	addFloatBits(&h.sumBits, v)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// observes may straddle the copy; each bucket count is individually exact
+// and monotone across snapshots.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Edges:  h.Edges(),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	// Read the sum before the buckets: a reader computing mean = Sum/Count
+	// then underestimates the mean rather than fabricating observations.
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable histogram state: per-bucket (not
+// cumulative) counts, with Counts[len(Edges)] the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Edges  []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// Count returns the total number of observations.
+func (s HistogramSnapshot) Count() uint64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	return total
+}
+
+// Merge combines two snapshots of histograms with identical bucket edges.
+// Bucket counts merge exactly (uint64 addition, so the merge is associative
+// and commutative); sums merge by float64 addition, exact whenever the
+// observed values are integers small enough to add without rounding.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if !equalEdges(s.Edges, o.Edges) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: cannot merge histograms with different bucket edges")
+	}
+	out := HistogramSnapshot{
+		Edges:  append([]float64(nil), s.Edges...),
+		Counts: make([]uint64, len(s.Counts)),
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}
+
+// Quantile estimates the q-quantile as the upper edge of the bucket holding
+// the ceil(q·n)-th smallest observation, so the estimate is always bounded
+// below by the bucket's lower edge and above by its upper edge. It returns
+// NaN for an empty histogram, and +Inf when the quantile falls in the
+// overflow bucket. q is clamped to [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == len(s.Edges) {
+				return math.Inf(1)
+			}
+			return s.Edges[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// BucketEdge maps one observation to its bucket upper edge (+Inf for the
+// overflow bucket) — the resolution limit of any quantile estimate.
+func (s HistogramSnapshot) BucketEdge(v float64) float64 {
+	i := sort.SearchFloat64s(s.Edges, v)
+	if i == len(s.Edges) {
+		return math.Inf(1)
+	}
+	return s.Edges[i]
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var propertyEdges = []float64{1, 2, 5, 10, 25, 50, 100}
+
+// observeAll builds a histogram over propertyEdges holding the given values.
+func observeAll(t *testing.T, values []float64) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(propertyEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h
+}
+
+// intValues draws n integer-valued observations in [0, 150). Integer values
+// keep float64 sum addition exact, so merged sums can be compared with ==.
+func intValues(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(150))
+	}
+	return out
+}
+
+func equalSnapshots(a, b HistogramSnapshot) bool {
+	if !equalEdges(a.Edges, b.Edges) || a.Sum != b.Sum || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistogramMergeProperties checks, across 200 random shardings, that
+// snapshot merge is commutative and associative, and that merging shards is
+// exactly equivalent to observing the union in one histogram.
+func TestHistogramMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		values := intValues(rng, 3+rng.Intn(300))
+		cut1 := rng.Intn(len(values) + 1)
+		cut2 := cut1 + rng.Intn(len(values)-cut1+1)
+		a := observeAll(t, values[:cut1]).Snapshot()
+		b := observeAll(t, values[cut1:cut2]).Snapshot()
+		c := observeAll(t, values[cut2:]).Snapshot()
+
+		ab, err := a.Merge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := b.Merge(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSnapshots(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative: %+v vs %+v", trial, ab, ba)
+		}
+
+		abc1, err := ab.Merge(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := b.Merge(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc2, err := a.Merge(bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSnapshots(abc1, abc2) {
+			t.Fatalf("trial %d: merge not associative: %+v vs %+v", trial, abc1, abc2)
+		}
+
+		whole := observeAll(t, values).Snapshot()
+		if !equalSnapshots(abc1, whole) {
+			t.Fatalf("trial %d: merged shards != single histogram: %+v vs %+v", trial, abc1, whole)
+		}
+	}
+}
+
+func TestHistogramMergeRejectsDifferentEdges(t *testing.T) {
+	a := observeAll(t, nil).Snapshot()
+	b, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Merge(b.Snapshot()); err == nil {
+		t.Error("merge across different bucket edges succeeded")
+	}
+}
+
+// TestHistogramQuantileProperties checks, across random datasets, that the
+// quantile estimate is exactly the bucket upper edge of the true q-quantile
+// observation (the histogram's resolution limit) and monotone in q.
+func TestHistogramQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	grid := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+	for trial := 0; trial < 200; trial++ {
+		values := intValues(rng, 1+rng.Intn(200))
+		snap := observeAll(t, values).Snapshot()
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+
+		prev := math.Inf(-1)
+		for _, q := range grid {
+			got := snap.Quantile(q)
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank == 0 {
+				rank = 1
+			}
+			want := snap.BucketEdge(sorted[rank-1])
+			if got != want {
+				t.Fatalf("trial %d: Quantile(%g) = %g, want bucket edge %g of observation %g",
+					trial, q, got, want, sorted[rank-1])
+			}
+			// The true observation is inside the reported bucket.
+			if sorted[rank-1] > got {
+				t.Fatalf("trial %d: Quantile(%g) = %g below true quantile %g", trial, q, got, sorted[rank-1])
+			}
+			if got < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %g decreased from %g", trial, q, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	empty := observeAll(t, nil).Snapshot()
+	if q := empty.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram Quantile = %g, want NaN", q)
+	}
+
+	over := observeAll(t, []float64{1000}).Snapshot()
+	if q := over.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Errorf("overflow-bucket Quantile = %g, want +Inf", q)
+	}
+
+	snap := observeAll(t, []float64{3, 4, 7}).Snapshot()
+	// q outside [0,1] (and NaN) clamps rather than panics.
+	if got := snap.Quantile(-1); got != snap.Quantile(0) {
+		t.Errorf("Quantile(-1) = %g, want Quantile(0) = %g", got, snap.Quantile(0))
+	}
+	if got := snap.Quantile(2); got != snap.Quantile(1) {
+		t.Errorf("Quantile(2) = %g, want Quantile(1) = %g", got, snap.Quantile(1))
+	}
+	if got := snap.Quantile(math.NaN()); got != snap.Quantile(0) {
+		t.Errorf("Quantile(NaN) = %g, want Quantile(0) = %g", got, snap.Quantile(0))
+	}
+}
+
+// TestHistogramBucketSemantics pins the `le` boundary rule: a value exactly
+// on an edge counts into that edge's bucket, NaN lands in overflow.
+func TestHistogramBucketSemantics(t *testing.T) {
+	snap := observeAll(t, []float64{1, 1.0000001, 100, 100.5, math.NaN(), math.Inf(1)}).Snapshot()
+	want := map[float64]uint64{1: 1, 2: 1, 100: 1}
+	for i, edge := range snap.Edges {
+		if snap.Counts[i] != want[edge] {
+			t.Errorf("bucket le=%g count = %d, want %d", edge, snap.Counts[i], want[edge])
+		}
+	}
+	if got := snap.Counts[len(snap.Edges)]; got != 3 {
+		t.Errorf("overflow bucket = %d, want 3 (above-range, NaN, +Inf)", got)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, edges := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		if _, err := NewHistogram(edges); err == nil {
+			t.Errorf("NewHistogram(%v) accepted invalid edges", edges)
+		}
+	}
+}
+
+// TestRenderedCumulativeNonDecreasing checks the JSON rendering invariant
+// that cumulative bucket counts never decrease and end at the total count.
+func TestRenderedCumulativeNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	reg := NewRegistry()
+	h := reg.Histogram("tsajs_test_cumulative", "cumulative check", propertyEdges)
+	for _, v := range intValues(rng, 500) {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+
+	js, err := reg.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := decodeFamilies(t, js)["tsajs_test_cumulative"]
+	if len(rendered) != 1 || rendered[0].Histogram == nil {
+		t.Fatalf("unexpected rendering: %s", js)
+	}
+	var prev uint64
+	for _, b := range rendered[0].Histogram.Buckets {
+		if b.Cumulative < prev {
+			t.Fatalf("cumulative count decreased at le=%s: %d < %d", b.LE, b.Cumulative, prev)
+		}
+		prev = b.Cumulative
+	}
+	if prev != snap.Count() {
+		t.Errorf("final cumulative = %d, want total count %d", prev, snap.Count())
+	}
+}

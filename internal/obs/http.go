@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Mux builds the introspection HTTP handler served by -metrics-addr:
+//
+//	/metrics  — the registry in Prometheus text exposition format
+//	/stats    — the stats callback's value as JSON (the coordinator wires
+//	            its legacy Stats snapshot here); the registry's JSON
+//	            rendering when stats is nil
+//	/healthz  — liveness: {"status":"ok","uptimeS":...}
+//	/debug/pprof/ — the standard net/http/pprof profiling handlers
+//
+// The mux holds no locks across requests; every endpoint reads atomics or
+// snapshot copies, so scraping never contends with the request hot path.
+func Mux(reg *Registry, stats func() any) *http.ServeMux {
+	started := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if stats == nil {
+			blob, err := reg.RenderJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(blob)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":  "ok",
+			"uptimeS": time.Since(started).Seconds(),
+		})
+	})
+
+	// net/http/pprof registers on http.DefaultServeMux via init; route the
+	// same handlers explicitly so the introspection mux stays private.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tsajs_test_total", "help").Add(3)
+	srv := httptest.NewServer(Mux(reg, func() any {
+		return map[string]int{"requests": 3}
+	}))
+	defer srv.Close()
+
+	body, hdr := get(t, srv, "/metrics")
+	if !strings.Contains(body, "tsajs_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+
+	body, hdr = get(t, srv, "/stats")
+	var stats map[string]int
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats not JSON: %v", err)
+	}
+	if stats["requests"] != 3 {
+		t.Errorf("/stats = %v", stats)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/stats Content-Type = %q", ct)
+	}
+
+	body, _ = get(t, srv, "/healthz")
+	var health struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptimeS"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.UptimeS < 0 {
+		t.Errorf("/healthz = %+v", health)
+	}
+
+	body, _ = get(t, srv, "/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+// TestMuxStatsFallsBackToRegistry covers the nil stats callback: /stats then
+// serves the registry's own JSON rendering.
+func TestMuxStatsFallsBackToRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("tsajs_test_gauge", "help").Set(1.5)
+	srv := httptest.NewServer(Mux(reg, nil))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/stats")
+	fams := decodeFamilies(t, []byte(body))
+	series, ok := fams["tsajs_test_gauge"]
+	if !ok || len(series) != 1 || series[0].Gauge == nil || float64(*series[0].Gauge) != 1.5 {
+		t.Errorf("/stats fallback = %s", body)
+	}
+}

@@ -1,0 +1,260 @@
+// Package obs is the repository's dependency-free observability layer: a
+// metrics registry of lock-free counters, gauges, and fixed-bucket
+// histograms, rendered in Prometheus text exposition format and JSON, with
+// an optional HTTP introspection mux for live services.
+//
+// Design constraints, in order:
+//
+//  1. Zero third-party dependencies — everything is stdlib.
+//  2. Overhead-safe on hot paths: every metric write is a single atomic
+//     operation (histograms add one binary search over a small fixed edge
+//     slice); registration and rendering take the registry mutex, writes
+//     never do.
+//  3. Invisible to results: instruments only read solver state, never
+//     consume randomness, so instrumented and uninstrumented runs return
+//     bit-identical decisions.
+//  4. Deterministic output: rendering orders families by name and series by
+//     label identity, histogram bucket counts merge exactly (uint64
+//     addition), so golden tests are stable across runs and platforms.
+//
+// Naming convention: `tsajs_<subsystem>_<metric>[_total|_seconds]` with
+// snake_case metrics, `_total` on monotone counters and base-unit suffixes
+// (`_seconds`, `_bytes`) on measurements, following Prometheus practice.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one constant key/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Kind discriminates the metric types a registry can hold.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing uint64.
+	KindCounter Kind = iota
+	// KindGauge is a float64 that can move both ways.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one registered metric instance: a family name, its constant
+// labels, and exactly one of the three metric kinds.
+type series struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []Label // sorted by key
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// id is the unique registry key of the series: name plus the canonical
+// label rendering, e.g. `requests_total{scheme="TSAJS"}`.
+func (s *series) id() string { return s.name + labelID(s.labels) }
+
+func labelID(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named metrics. Registration is idempotent: asking twice
+// for the same (name, labels) returns the same metric, so independent
+// subsystems can share one registry without coordination. The zero value
+// is not usable; create with NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*series
+	sorted bool
+	order  []*series // lazily re-sorted view for rendering
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*series)}
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. It panics if the name is already registered with a
+// different kind — metric identity clashes are programming errors.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, KindCounter, labels, nil)
+	return s.counter
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, KindGauge, labels, nil)
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket edges on first use. Edges must be
+// strictly ascending and finite; an implicit +Inf overflow bucket is always
+// appended. Re-registration with different edges panics.
+func (r *Registry) Histogram(name, help string, edges []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, KindHistogram, labels, edges)
+	return s.hist
+}
+
+// lookup finds or creates a series under the registry mutex.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label, edges []float64) *series {
+	if err := checkName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	canon := canonicalLabels(labels)
+	key := name + labelID(canon)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byID[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", key, kind, s.kind))
+		}
+		if kind == KindHistogram && !equalEdges(s.hist.edges, edges) {
+			panic(fmt.Sprintf("obs: histogram %s re-registered with different bucket edges", key))
+		}
+		return s
+	}
+	s := &series{name: name, help: help, kind: kind, labels: canon}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		h, err := NewHistogram(edges)
+		if err != nil {
+			panic("obs: " + err.Error())
+		}
+		s.hist = h
+	}
+	r.byID[key] = s
+	r.order = append(r.order, s)
+	r.sorted = false
+	return s
+}
+
+// snapshotOrder returns the registered series sorted by family name then
+// label identity — the deterministic rendering order.
+func (r *Registry) snapshotOrder() []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.sorted {
+		sort.Slice(r.order, func(i, j int) bool {
+			if r.order[i].name != r.order[j].name {
+				return r.order[i].name < r.order[j].name
+			}
+			return labelID(r.order[i].labels) < labelID(r.order[j].labels)
+		})
+		r.sorted = true
+	}
+	out := make([]*series, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// canonicalLabels sorts a copy of the labels by key. Duplicate keys panic.
+func canonicalLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	for i := 1; i < len(out); i++ {
+		if out[i].Key == out[i-1].Key {
+			panic("obs: duplicate label key " + out[i].Key)
+		}
+	}
+	for _, l := range out {
+		if err := checkLabelKey(l.Key); err != nil {
+			panic("obs: " + err.Error())
+		}
+	}
+	return out
+}
+
+// checkName enforces the Prometheus metric name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelKey enforces the label name grammar [a-zA-Z_][a-zA-Z0-9_]*.
+func checkLabelKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("empty label key")
+	}
+	for i, c := range key {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label key %q", key)
+		}
+	}
+	return nil
+}
+
+func equalEdges(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeFamilies(t *testing.T, data []byte) map[string][]SeriesJSON {
+	t.Helper()
+	var out map[string][]SeriesJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("RenderJSON output does not parse: %v", err)
+	}
+	return out
+}
+
+// TestRegistryIdempotentRegistration asserts that re-registering the same
+// (name, labels) returns the same metric instance, while different label
+// sets (including reordered duplicates) resolve to distinct series.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("tsajs_test_total", "help",
+		Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	b := reg.Counter("tsajs_test_total", "help",
+		Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if a != b {
+		t.Error("label order created a second series")
+	}
+	c := reg.Counter("tsajs_test_total", "help", Label{Key: "a", Value: "1"})
+	if c == a {
+		t.Error("different label sets shared a series")
+	}
+
+	h1 := reg.Histogram("tsajs_test_seconds", "help", []float64{1, 2})
+	h2 := reg.Histogram("tsajs_test_seconds", "help", []float64{1, 2})
+	if h1 != h2 {
+		t.Error("histogram re-registration created a second instance")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryRejectsMisuse(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tsajs_test_total", "help")
+	mustPanic(t, "kind clash", func() { reg.Gauge("tsajs_test_total", "help") })
+
+	reg.Histogram("tsajs_test_seconds", "help", []float64{1, 2})
+	mustPanic(t, "edge clash", func() { reg.Histogram("tsajs_test_seconds", "help", []float64{1, 3}) })
+
+	mustPanic(t, "bad name", func() { reg.Counter("tsajs test", "help") })
+	mustPanic(t, "leading digit", func() { reg.Counter("9tsajs", "help") })
+	mustPanic(t, "bad label key", func() { reg.Counter("tsajs_ok", "help", Label{Key: "le!", Value: "x"}) })
+	mustPanic(t, "duplicate label key", func() {
+		reg.Counter("tsajs_ok2", "help", Label{Key: "a", Value: "1"}, Label{Key: "a", Value: "2"})
+	})
+	mustPanic(t, "bad edges", func() { reg.Histogram("tsajs_bad_seconds", "help", nil) })
+}
+
+// TestConcurrentMetricUpdates hammers one counter, gauge, and histogram from
+// many goroutines and checks nothing is lost — the -race run of this test is
+// the lock-freedom proof for the whole metric layer.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration itself must be concurrency-safe too.
+			ctr := reg.Counter("tsajs_test_total", "help")
+			g := reg.Gauge("tsajs_test_gauge", "help")
+			h := reg.Histogram("tsajs_test_seconds", "help", []float64{1, 2, 4})
+			for i := 0; i < perWorker; i++ {
+				ctr.Inc()
+				g.Add(1)
+				g.SetMax(float64(w*perWorker + i))
+				h.Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("tsajs_test_total", "help").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	snap := reg.Histogram("tsajs_test_seconds", "help", []float64{1, 2, 4}).Snapshot()
+	if got := snap.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Gauge mixes Add and SetMax so its final value is racy by design, but
+	// it must be at least the largest SetMax argument.
+	if got := reg.Gauge("tsajs_test_gauge", "help").Value(); got < workers*perWorker-1 {
+		t.Errorf("gauge = %g, want >= %d", got, workers*perWorker-1)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("SetMax lowered the gauge to %g", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax(9) left %g", got)
+	}
+	g.Set(-2)
+	g.SetMax(math.Inf(1))
+	if got := g.Value(); !math.IsInf(got, 1) {
+		t.Errorf("SetMax(+Inf) left %g", got)
+	}
+}
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -3, math.Inf(1), math.Inf(-1), math.NaN()} {
+		data, err := json.Marshal(JSONFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %g: %v", v, err)
+		}
+		var back JSONFloat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		same := float64(back) == v || (math.IsNaN(v) && math.IsNaN(float64(back)))
+		if !same {
+			t.Errorf("round trip %g -> %s -> %g", v, data, float64(back))
+		}
+	}
+	var bad JSONFloat
+	if err := json.Unmarshal([]byte(`"nope"`), &bad); err == nil {
+		t.Error("invalid JSONFloat accepted")
+	}
+}
+
+// TestPrometheusGrammar spot-checks the exposition output against the format
+// rules golden files alone would not explain: escaping and HELP/TYPE pairing.
+func TestPrometheusGrammar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tsajs_test_total", "line one\nline two", Label{Key: "k", Value: `quote " slash \`}).Inc()
+	text := string(reg.PrometheusText())
+	for _, want := range []string{
+		`# HELP tsajs_test_total line one\nline two`,
+		"# TYPE tsajs_test_total counter",
+		`tsajs_test_total{k="quote \" slash \\"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

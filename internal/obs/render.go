@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE header per
+// family, series sorted by label identity, histograms expanded into
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, s := range r.snapshotOrder() {
+		if s.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				s.name, escapeHelp(s.help), s.name, s.kind); err != nil {
+				return err
+			}
+			lastFamily = s.name
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusText renders the registry to a byte slice; see WritePrometheus.
+func (r *Registry) PrometheusText() []byte {
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	id := labelID(s.labels)
+	switch s.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, id, s.counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, id, formatFloat(s.gauge.Value()))
+		return err
+	case KindHistogram:
+		snap := s.hist.Snapshot()
+		var cum uint64
+		for i, edge := range snap.Edges {
+			cum += snap.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.name, withLE(s.labels, formatFloat(edge)), cum); err != nil {
+				return err
+			}
+		}
+		cum += snap.Counts[len(snap.Edges)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLE(s.labels, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, id, formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, id, cum)
+		return err
+	}
+	return nil
+}
+
+// withLE renders the label set with the histogram `le` label appended.
+func withLE(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with explicit +Inf/-Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text per the exposition
+// format.
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline in label
+// values per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// JSONFloat is a float64 that marshals non-finite values as the quoted
+// strings "+Inf", "-Inf", and "NaN" instead of failing, so a gauge holding
+// an infinity can never break the JSON endpoint.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte(`"` + formatFloat(v) + `"`), nil
+	}
+	return []byte(formatFloat(v)), nil
+}
+
+// UnmarshalJSON accepts both plain numbers and the quoted non-finite
+// spellings MarshalJSON emits, so rendered JSON round-trips.
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	switch s {
+	case `"+Inf"`, `"Inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("obs: invalid JSONFloat %s", s)
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// SeriesJSON is one metric series in the registry's JSON rendering.
+type SeriesJSON struct {
+	Labels    map[string]string `json:"labels,omitempty"`
+	Kind      string            `json:"kind"`
+	Counter   *uint64           `json:"counter,omitempty"`
+	Gauge     *JSONFloat        `json:"gauge,omitempty"`
+	Histogram *HistogramJSON    `json:"histogram,omitempty"`
+}
+
+// HistogramJSON renders a histogram snapshot with cumulative buckets. The
+// `le` edges are strings so the +Inf bucket survives JSON encoding.
+type HistogramJSON struct {
+	Count   uint64       `json:"count"`
+	Sum     JSONFloat    `json:"sum"`
+	Buckets []BucketJSON `json:"buckets"`
+}
+
+// BucketJSON is one cumulative histogram bucket.
+type BucketJSON struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// RenderJSON renders the registry as a map from family name to its series,
+// series ordered by label identity. Family keys are emitted in sorted
+// order (encoding/json sorts map keys), so the output is deterministic.
+func (r *Registry) RenderJSON() ([]byte, error) {
+	families := make(map[string][]SeriesJSON)
+	for _, s := range r.snapshotOrder() {
+		js := SeriesJSON{Kind: s.kind.String()}
+		if len(s.labels) > 0 {
+			js.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.kind {
+		case KindCounter:
+			v := s.counter.Value()
+			js.Counter = &v
+		case KindGauge:
+			v := JSONFloat(s.gauge.Value())
+			js.Gauge = &v
+		case KindHistogram:
+			snap := s.hist.Snapshot()
+			h := &HistogramJSON{Count: snap.Count(), Sum: JSONFloat(snap.Sum)}
+			var cum uint64
+			for i, edge := range snap.Edges {
+				cum += snap.Counts[i]
+				h.Buckets = append(h.Buckets, BucketJSON{LE: formatFloat(edge), Cumulative: cum})
+			}
+			cum += snap.Counts[len(snap.Edges)]
+			h.Buckets = append(h.Buckets, BucketJSON{LE: "+Inf", Cumulative: cum})
+			js.Histogram = h
+		}
+		families[s.name] = append(families[s.name], js)
+	}
+	return json.MarshalIndent(families, "", "  ")
+}

@@ -1,0 +1,84 @@
+package portfolio
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/obs"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+type recorder struct {
+	mu    sync.Mutex
+	stats []solver.SolveStats
+}
+
+func (r *recorder) ObserveSolve(s solver.SolveStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = append(r.stats, s)
+}
+
+// TestPortfolioObserver checks that an observed portfolio solve reports one
+// merged SolveStats describing the reduction (Chains = K, evaluations and
+// utility matching the returned Result) and that observation leaves the
+// result bit-identical.
+func TestPortfolioObserver(t *testing.T) {
+	opts := solver.PortfolioOptions{Chains: 4, Workers: 2}
+	plainPf, err := New(testConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	reg := obs.NewRegistry()
+	observedPf := plainPf.WithObserver(rec)
+	meteredPf := plainPf.WithObserver(obs.NewSolverMetrics(reg))
+
+	sc := testScenario(t, 5)
+	plain, err := plainPf.Schedule(sc, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := observedPf.Schedule(sc, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := meteredPf.Schedule(sc, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []solver.Result{observed, metered} {
+		if math.Float64bits(other.Utility) != math.Float64bits(plain.Utility) ||
+			other.Evaluations != plain.Evaluations {
+			t.Errorf("observed solve diverged: utility %v vs %v, evals %d vs %d",
+				other.Utility, plain.Utility, other.Evaluations, plain.Evaluations)
+		}
+	}
+
+	if len(rec.stats) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(rec.stats))
+	}
+	s := rec.stats[0]
+	if s.Scheme != "TSAJS-P" || s.Chains != opts.Chains {
+		t.Errorf("stats scheme %q chains %d, want TSAJS-P with %d chains", s.Scheme, s.Chains, opts.Chains)
+	}
+	if s.Evaluations != plain.Evaluations {
+		t.Errorf("stats evaluations = %d, result = %d", s.Evaluations, plain.Evaluations)
+	}
+	if math.Float64bits(s.Utility) != math.Float64bits(plain.Utility) {
+		t.Errorf("stats utility = %v, result = %v", s.Utility, plain.Utility)
+	}
+
+	text := string(reg.PrometheusText())
+	for _, want := range []string{
+		`tsajs_solver_solves_total{scheme="TSAJS-P"} 1`,
+		`tsajs_solver_chains_total{scheme="TSAJS-P"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -49,6 +49,7 @@ func ChainStream(rng *simrand.Source, chain int) *simrand.Source {
 type Portfolio struct {
 	base *core.TTSA
 	opts solver.PortfolioOptions
+	obs  solver.SolveObserver
 }
 
 var _ solver.Scheduler = (*Portfolio)(nil)
@@ -81,6 +82,19 @@ func (p *Portfolio) Chains() int { return p.opts.Chains }
 
 // Options returns the resolved portfolio options.
 func (p *Portfolio) Options() solver.PortfolioOptions { return p.opts }
+
+// WithObserver returns a copy of the portfolio reporting one aggregate
+// solver.SolveStats per solve (scheme "TSAJS-P", Chains = K, evaluations
+// summed over chains) to o. Per-chain telemetry additionally flows when the
+// wrapped base TTSA itself carries an observer (core.TTSA.WithObserver);
+// chain reports then arrive concurrently from worker goroutines, so o must
+// be safe for concurrent use. Observation is passive and never changes the
+// merged result. A nil o returns an unobserved copy.
+func (p *Portfolio) WithObserver(o solver.SolveObserver) *Portfolio {
+	c := *p
+	c.obs = o
+	return &c
+}
 
 // Schedule implements solver.Scheduler: a cold-started portfolio solve.
 func (p *Portfolio) Schedule(sc *scenario.Scenario, rng *simrand.Source) (solver.Result, error) {
@@ -153,5 +167,15 @@ func (p *Portfolio) SolveFrom(sc *scenario.Scenario, rng *simrand.Source, initia
 			bestIdx, bestJ = i, u
 		}
 	}
-	return solver.Finish(p.Name(), eval, results[bestIdx].Assignment, evaluations, started), nil
+	merged := solver.Finish(p.Name(), eval, results[bestIdx].Assignment, evaluations, started)
+	if p.obs != nil {
+		p.obs.ObserveSolve(solver.SolveStats{
+			Scheme:      p.Name(),
+			Chains:      k,
+			Evaluations: merged.Evaluations,
+			Utility:     merged.Utility,
+			Elapsed:     merged.Elapsed,
+		})
+	}
+	return merged, nil
 }

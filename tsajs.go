@@ -1,6 +1,8 @@
 package tsajs
 
 import (
+	"net/http"
+
 	"github.com/tsajs/tsajs/internal/alloc"
 	"github.com/tsajs/tsajs/internal/analysis"
 	"github.com/tsajs/tsajs/internal/assign"
@@ -12,6 +14,7 @@ import (
 	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/obs"
 	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/report"
 	"github.com/tsajs/tsajs/internal/scenario"
@@ -117,6 +120,26 @@ type (
 	// ChaosConfig parametrizes fault-injecting connection wrappers for
 	// protocol-level resilience testing.
 	ChaosConfig = faults.ChaosConfig
+	// MetricsRegistry is the observability layer's metric registry:
+	// lock-free counters, gauges, and fixed-bucket histograms, rendered in
+	// Prometheus text exposition format and JSON.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one constant key/value label on a metric series.
+	MetricLabel = obs.Label
+	// SolverMetrics records per-solve scheduler telemetry (stage counts,
+	// move acceptance, threshold-trigger activations, solve latency,
+	// utility) into a registry; attach with TTSA.WithObserver or
+	// Portfolio.WithObserver.
+	SolverMetrics = obs.SolverMetrics
+	// SolveStats is one solve's telemetry report.
+	SolveStats = solver.SolveStats
+	// SolveObserver receives per-solve telemetry from instrumented
+	// schedulers.
+	SolveObserver = solver.SolveObserver
+	// ClientMetrics counts the resilient client's retries, redials,
+	// breaker fast-fails, and graceful degradations; wire into
+	// ResilienceConfig.Metrics.
+	ClientMetrics = obs.ClientMetrics
 )
 
 // Local marks a user as executing its task on the device in an Assignment.
@@ -207,6 +230,27 @@ func Verify(sc *Scenario, r Result) error { return solver.Verify(sc, r) }
 // mobility, stochastic task arrivals, and TSAJS re-scheduling per epoch
 // (warm-started when cfg.WarmStart is set).
 func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) { return dynamic.Run(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSolverMetrics returns a solve observer recording tsajs_solver_*
+// metrics into r, labelled by scheme plus the given constant labels.
+func NewSolverMetrics(r *MetricsRegistry, labels ...MetricLabel) *SolverMetrics {
+	return obs.NewSolverMetrics(r, labels...)
+}
+
+// NewClientMetrics registers the tsajs_client_* resilience counters in r.
+func NewClientMetrics(r *MetricsRegistry, labels ...MetricLabel) *ClientMetrics {
+	return obs.NewClientMetrics(r, labels...)
+}
+
+// MetricsMux builds the introspection HTTP handler: /metrics (Prometheus
+// text), /stats (the callback's value as JSON; the registry when nil),
+// /healthz, and the net/http/pprof handlers under /debug/pprof/.
+func MetricsMux(r *MetricsRegistry, stats func() any) *http.ServeMux {
+	return obs.Mux(r, stats)
+}
 
 // NewCoordinator starts a C-RAN scheduling coordinator listening on addr.
 func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
