@@ -54,14 +54,15 @@ cover:
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-# The recorded set covers the perf kernels and solver end-to-end runs; the
-# BenchmarkFigure* experiment reproductions are excluded (they are sweeps,
-# not performance probes, and take minutes each).
-PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental|Portfolio)
+# The recorded set covers the perf kernels, solver end-to-end runs, and the
+# coordinator serving path (BenchmarkServe*); the BenchmarkFigure* experiment
+# reproductions are excluded (they are sweeps, not performance probes, and
+# take minutes each).
+PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental|Portfolio|Serve)
 
 .PHONY: bench
 bench:
-	go test -run='^$$' -bench='$(PERF_BENCH)' -benchmem -benchtime=1s . ./internal/objective | tee /tmp/tsajs_bench_raw.txt
+	go test -run='^$$' -bench='$(PERF_BENCH)' -benchmem -benchtime=1s . ./internal/objective ./internal/cran | tee /tmp/tsajs_bench_raw.txt
 	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_raw.txt -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -70,13 +71,15 @@ bench:
 # Iterations are pinned (-benchtime=50x) so the solver-utility metric — a
 # mean over seeds 1..N — is bit-comparable across runs. Timing is ignored
 # (shared runners are too noisy for short runs); what must never regress is
-# the allocation count of the allocation-free kernels and the per-seed
-# solver utility.
-QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30)$$
+# the allocation count of the allocation-free kernels, the per-seed solver
+# utility, and the coordinator's per-epoch allocation count and utility
+# (BenchmarkServeEpoch solves the same epoch every iteration, so both are
+# deterministic; BenchmarkServePipeline's epochs/s is timing and stays out).
+QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch)$$
 
 .PHONY: bench-check
 bench-check:
-	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . > /tmp/tsajs_bench_quick.txt
+	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . ./internal/cran > /tmp/tsajs_bench_quick.txt
 	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_quick.txt -o /tmp/tsajs_bench_quick.json
 	go run ./cmd/tsajs-bench compare -skip-time \
 	  -baseline results/bench/BENCH_baseline.json -current /tmp/tsajs_bench_quick.json
@@ -85,7 +88,7 @@ bench-check:
 # an intentional performance change, then commit the result).
 .PHONY: bench-baseline
 bench-baseline:
-	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . > /tmp/tsajs_bench_quick.txt
+	go test -run='^$$' -bench='$(QUICK_BENCH)' -benchmem -benchtime=50x . ./internal/cran > /tmp/tsajs_bench_quick.txt
 	go run ./cmd/tsajs-bench record -in /tmp/tsajs_bench_quick.txt \
 	  -notes "quick-gate baseline (fixed 50x iterations)" -o results/bench/BENCH_baseline.json
 

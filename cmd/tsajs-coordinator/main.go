@@ -49,6 +49,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		seed     = fs.Uint64("seed", 1, "coordinator random seed")
 		budget   = fs.Int("budget", 20000, "TTSA evaluation budget per epoch")
 
+		workers    = fs.Int("workers", 0, "solver workers draining the epoch queue (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue-depth", 0, "solve queue depth before epochs are shed (0 = 2x workers)")
+
 		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (negative disables)")
 		maxLine     = fs.Int("max-line-bytes", 1<<20, "maximum request line length on the wire [bytes]")
 		maxConns    = fs.Int("max-conns", 256, "maximum concurrently served connections")
@@ -71,6 +74,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		Params:       params,
 		BatchWindow:  *window,
 		MaxBatch:     *batch,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
 		TTSA:         &ttsaCfg,
 		Seed:         *seed,
 		ReadTimeout:  *readTimeout,
@@ -109,9 +114,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		"shutting down: %d epochs, %d requests (%d rejected), %d offloaded / %d local, mean batch %.1f, solve time %s\n",
 		stats.Epochs, stats.Requests, stats.Rejected, stats.Offloaded, stats.Local,
 		stats.MeanBatch, stats.TotalSolveTime.Round(time.Millisecond))
-	if stats.OversizeRequests+stats.ThrottledConns+stats.PanicsRecovered > 0 {
-		fmt.Fprintf(stdout, "hardening: %d oversize requests, %d throttled connections, %d panics recovered\n",
-			stats.OversizeRequests, stats.ThrottledConns, stats.PanicsRecovered)
+	if stats.OversizeRequests+stats.ThrottledConns+stats.PanicsRecovered+stats.EpochsRejected > 0 {
+		fmt.Fprintf(stdout, "hardening: %d oversize requests, %d throttled connections, %d panics recovered, %d epochs shed\n",
+			stats.OversizeRequests, stats.ThrottledConns, stats.PanicsRecovered, stats.EpochsRejected)
 	}
 	return nil
 }

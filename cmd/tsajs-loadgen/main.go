@@ -1,0 +1,279 @@
+// Command tsajs-loadgen drives a live C-RAN coordinator over TCP at a
+// target offered load and reports the serving-path throughput: epochs/sec,
+// request latency percentiles (p50/p95/p99), achieved requests/sec, and
+// the coordinator's queue depth and rejection counters.
+//
+// Usage:
+//
+//	tsajs-loadgen -conns 16 -duration 10s               # self-hosted coordinator
+//	tsajs-loadgen -addr 127.0.0.1:7600 -rate 200        # externally running one
+//	tsajs-loadgen -workers 4 -queue-depth 8 -json       # pipeline knobs + JSON report
+//
+// With -addr empty (the default) the tool starts an in-process coordinator
+// with the given -servers/-channels/-workers/-queue-depth configuration, so
+// a single command measures the serving pipeline end to end — TCP framing,
+// epoch batching, the bounded solve queue, and the TTSA solve itself.
+// Epochs/sec comes from a health-probe delta over the measured window;
+// latencies are client-observed round trips.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsajs-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	Conns      int     `json:"conns"`
+	DurationS  float64 `json:"durationS"`
+	OfferedRPS float64 `json:"offeredRPS,omitempty"`
+
+	Requests        int `json:"requests"`
+	Scheduled       int `json:"scheduled"`
+	Rejected        int `json:"rejected"`
+	TransportErrors int `json:"transportErrors"`
+
+	RequestsPerSec float64 `json:"requestsPerSec"`
+	EpochsPerSec   float64 `json:"epochsPerSec"`
+	P50Ms          float64 `json:"p50Ms"`
+	P95Ms          float64 `json:"p95Ms"`
+	P99Ms          float64 `json:"p99Ms"`
+
+	MeanBatch      float64 `json:"meanBatch"`
+	QueueDepth     int     `json:"queueDepth"`
+	MaxQueueDepth  int     `json:"maxQueueDepth"`
+	EpochsRejected uint64  `json:"epochsRejected"`
+	SolverWorkers  int     `json:"solverWorkers"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsajs-loadgen", flag.ContinueOnError)
+	defaults := tsajs.DefaultParams()
+	var (
+		addr     = fs.String("addr", "", "coordinator address (empty: self-host one in process)")
+		conns    = fs.Int("conns", 8, "concurrent client connections")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		rate     = fs.Float64("rate", 0, "offered load, requests/sec across all conns (0 = closed loop)")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+
+		servers    = fs.Int("servers", defaults.NumServers, "self-host: number of MEC servers")
+		channels   = fs.Int("channels", defaults.NumChannels, "self-host: subchannels per cell")
+		window     = fs.Duration("window", 20*time.Millisecond, "self-host: epoch batch window")
+		batch      = fs.Int("batch", 0, "self-host: max batch size (0 = slot capacity)")
+		workers    = fs.Int("workers", 0, "self-host: solver workers (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue-depth", 0, "self-host: solve queue depth (0 = 2x workers)")
+		budget     = fs.Int("budget", 4000, "self-host: TTSA evaluation budget per epoch")
+		seed       = fs.Uint64("seed", 1, "self-host: coordinator random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conns <= 0 {
+		return fmt.Errorf("conns must be positive, got %d", *conns)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("duration must be positive, got %s", *duration)
+	}
+
+	target := *addr
+	if target == "" {
+		params := defaults
+		params.NumServers = *servers
+		params.NumChannels = *channels
+		ttsaCfg := tsajs.DefaultConfig()
+		ttsaCfg.MaxEvaluations = *budget
+		srv, err := tsajs.NewCoordinator("127.0.0.1:0", tsajs.CoordinatorConfig{
+			Params:      params,
+			BatchWindow: *window,
+			MaxBatch:    *batch,
+			Workers:     *workers,
+			QueueDepth:  *queueDepth,
+			TTSA:        &ttsaCfg,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		target = srv.Addr().String()
+		fmt.Fprintf(stdout, "self-hosted coordinator on %s (S=%d, N=%d, workers=%d)\n",
+			target, *servers, *channels, srv.Stats().SolverWorkers)
+	}
+
+	rep, err := drive(target, *conns, *duration, *rate)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "offered: %d conns, %s window", rep.Conns, time.Duration(rep.DurationS*float64(time.Second)).Round(time.Millisecond))
+	if rep.OfferedRPS > 0 {
+		fmt.Fprintf(stdout, ", %.0f req/s target", rep.OfferedRPS)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "requests: %d total, %d scheduled, %d rejected, %d transport errors\n",
+		rep.Requests, rep.Scheduled, rep.Rejected, rep.TransportErrors)
+	fmt.Fprintf(stdout, "throughput: %.1f req/s, %.2f epochs/s (mean batch %.1f)\n",
+		rep.RequestsPerSec, rep.EpochsPerSec, rep.MeanBatch)
+	fmt.Fprintf(stdout, "latency: p50 %.1fms, p95 %.1fms, p99 %.1fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Fprintf(stdout, "pipeline: %d solver workers, queue depth %d (max seen %d), %d epochs shed\n",
+		rep.SolverWorkers, rep.QueueDepth, rep.MaxQueueDepth, rep.EpochsRejected)
+	return nil
+}
+
+// drive runs the measurement window against the coordinator at target.
+func drive(target string, conns int, duration time.Duration, rate float64) (report, error) {
+	probe, err := tsajs.DialCoordinator(target)
+	if err != nil {
+		return report{}, fmt.Errorf("probe dial: %w", err)
+	}
+	defer probe.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), duration+30*time.Second)
+	defer cancel()
+	before, err := probe.Health(ctx)
+	if err != nil {
+		return report{}, fmt.Errorf("health probe: %w", err)
+	}
+
+	// One worker per connection, closed loop or paced from the shared rate.
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(conns) / rate * float64(time.Second))
+	}
+	type connStats struct {
+		latencies []time.Duration
+		scheduled int
+		rejected  int
+		transport int
+	}
+	stats := make([]connStats, conns)
+	maxQueue := 0
+	var maxQueueMu sync.Mutex
+
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := tsajs.DialCoordinator(target)
+			if err != nil {
+				stats[c].transport++
+				return
+			}
+			defer cli.Close()
+			next := time.Now()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if interval > 0 {
+					if wait := time.Until(next); wait > 0 {
+						time.Sleep(wait)
+					}
+					next = next.Add(interval)
+				}
+				req := tsajs.OffloadRequest{
+					UserID: fmt.Sprintf("lg-%d-%d", c, i),
+					Pos: tsajs.Point{
+						X: 0.4*math.Cos(float64(c)+0.1*float64(i)) + 0.1,
+						Y: 0.4 * math.Sin(float64(c)+0.1*float64(i)),
+					},
+					Task: tsajs.Task{DataBits: 420 * 8 * 1024, WorkCycles: 1000e6},
+				}
+				start := time.Now()
+				_, err := cli.Offload(ctx, req)
+				elapsed := time.Since(start)
+				switch {
+				case err == nil:
+					stats[c].scheduled++
+					stats[c].latencies = append(stats[c].latencies, elapsed)
+				case strings.Contains(err.Error(), "rejected"):
+					stats[c].rejected++
+					stats[c].latencies = append(stats[c].latencies, elapsed)
+				default:
+					stats[c].transport++
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Sample the queue depth while the load runs.
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			<-tick.C
+			h, err := probe.Health(ctx)
+			if err != nil {
+				return
+			}
+			maxQueueMu.Lock()
+			if h.Stats.QueueDepth > maxQueue {
+				maxQueue = h.Stats.QueueDepth
+			}
+			maxQueueMu.Unlock()
+		}
+	}()
+	wg.Wait()
+	<-sampleDone
+	elapsed := duration.Seconds()
+
+	after, err := probe.Health(ctx)
+	if err != nil {
+		return report{}, fmt.Errorf("final health probe: %w", err)
+	}
+
+	var all []time.Duration
+	rep := report{Conns: conns, DurationS: elapsed, OfferedRPS: rate, MaxQueueDepth: maxQueue}
+	for _, cs := range stats {
+		all = append(all, cs.latencies...)
+		rep.Scheduled += cs.scheduled
+		rep.Rejected += cs.rejected
+		rep.TransportErrors += cs.transport
+	}
+	rep.Requests = rep.Scheduled + rep.Rejected + rep.TransportErrors
+	rep.RequestsPerSec = float64(rep.Scheduled+rep.Rejected) / elapsed
+	rep.EpochsPerSec = float64(after.Stats.Epochs-before.Stats.Epochs) / elapsed
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50Ms = quantileMs(all, 0.50)
+	rep.P95Ms = quantileMs(all, 0.95)
+	rep.P99Ms = quantileMs(all, 0.99)
+	rep.MeanBatch = after.Stats.MeanBatch
+	rep.QueueDepth = after.Stats.QueueDepth
+	rep.EpochsRejected = after.Stats.EpochsRejected
+	rep.SolverWorkers = after.Stats.SolverWorkers
+	return rep, nil
+}
+
+// quantileMs returns the q-quantile of the sorted latency slice in
+// milliseconds (nearest-rank), or 0 for an empty slice.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSelfHostedRun drives a short self-hosted run end to end and
+// checks the JSON report is coherent: requests were scheduled, throughput
+// and latency fields are populated, and the worker count round-tripped.
+func TestLoadgenSelfHostedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-conns", "4",
+		"-duration", "600ms",
+		"-window", "10ms",
+		"-budget", "300",
+		"-workers", "2",
+		"-queue-depth", "8",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First line is the self-host banner; the rest is the JSON report.
+	text := out.String()
+	idx := strings.Index(text, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON report in output:\n%s", text)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(text[idx:]), &rep); err != nil {
+		t.Fatalf("report not parseable: %v\n%s", err, text)
+	}
+	if rep.Scheduled == 0 {
+		t.Errorf("no requests scheduled: %+v", rep)
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("transport errors = %d, want 0", rep.TransportErrors)
+	}
+	if rep.EpochsPerSec <= 0 {
+		t.Errorf("epochs/sec = %v, want positive", rep.EpochsPerSec)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Errorf("latency percentiles incoherent: p50=%v p99=%v", rep.P50Ms, rep.P99Ms)
+	}
+	if rep.SolverWorkers != 2 {
+		t.Errorf("solver workers = %d, want 2", rep.SolverWorkers)
+	}
+}
+
+// TestLoadgenFlagValidation covers the argument domain checks.
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-conns", "0"}, &out); err == nil {
+		t.Error("conns=0 accepted")
+	}
+	if err := run([]string{"-duration", "0s"}, &out); err == nil {
+		t.Error("duration=0 accepted")
+	}
+}
+
+// TestQuantileMs pins the nearest-rank percentile helper.
+func TestQuantileMs(t *testing.T) {
+	if got := quantileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	sorted := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	if got := quantileMs(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := quantileMs(sorted, 1); got != 10 {
+		t.Errorf("q1 = %v, want 10", got)
+	}
+	if got := quantileMs(sorted, 0.5); got != 2 {
+		t.Errorf("q0.5 = %v, want 2", got)
+	}
+}

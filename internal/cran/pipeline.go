@@ -1,0 +1,212 @@
+package cran
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/radio"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/units"
+)
+
+// ErrQueueFull is reported (as the response Error of every request in the
+// batch) when an epoch is flushed while the solve queue is at capacity. The
+// coordinator fails the batch immediately — fail-fast backpressure — rather
+// than buffering unboundedly or blocking collection of the next epoch.
+var ErrQueueFull = errors.New("cran: solve queue full, epoch rejected")
+
+// gainStreamLabel separates the channel-estimation RNG stream from the
+// solver stream within one epoch (the historical constant, kept so epoch
+// gains are bit-identical to the pre-pipeline coordinator).
+const gainStreamLabel = 0xc51
+
+// epochBatch is one collected epoch in flight between the batch collector
+// and a solver worker. The epoch number and both derived RNG streams are
+// stamped at enqueue time: simrand.Derive depends only on the parent seed,
+// so deriving at collection is bit-identical to deriving at solve time, and
+// per-epoch results do not depend on which worker solves the batch or when.
+type epochBatch struct {
+	epoch     uint64
+	batch     []pending
+	solveRNG  *simrand.Source
+	gainRNG   *simrand.Source
+	collected time.Time
+}
+
+// solveWorker is one epoch-solving goroutine. Each worker owns its own TTSA
+// instance and a private set of reusable epoch buffers (user and position
+// slices, the gain-tensor backing array, one Scenario value whose derived
+// tables Finalize recycles), so workers solve concurrently without sharing
+// mutable state and the steady-state epoch path stops allocating once the
+// scratch has grown to the configured MaxBatch.
+type solveWorker struct {
+	srv  *Server
+	ttsa *core.TTSA
+
+	users     []scenario.User
+	positions []geom.Point
+	gainBuf   []float64
+	sc        scenario.Scenario
+}
+
+func (s *Server) newSolveWorker() *solveWorker {
+	return &solveWorker{srv: s, ttsa: s.ttsa}
+}
+
+// loop drains the solve queue until the collector closes it. A batch queued
+// behind a slow solve when the server shuts down is failed, not solved:
+// drain-on-Close answers every queued request with a shutdown error so no
+// client hangs on a reply that will never come.
+func (w *solveWorker) loop() {
+	s := w.srv
+	defer s.wg.Done()
+	for eb := range s.solveQ {
+		s.stats.queueDepth.Set(float64(len(s.solveQ)))
+		select {
+		case <-s.quit:
+			s.failBatch(eb.batch, "coordinator shutting down")
+			continue
+		default:
+		}
+		s.stats.inflight.Add(1)
+		w.solveEpochSafe(eb)
+		s.stats.inflight.Add(-1)
+	}
+}
+
+// solveEpochSafe confines a panic in the scheduling path to the epoch that
+// caused it: the batch is failed with an error response and the worker keeps
+// serving subsequent epochs.
+func (w *solveWorker) solveEpochSafe(eb epochBatch) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.srv.stats.panicRecovered()
+			w.srv.failBatch(eb.batch, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	w.solveEpoch(eb)
+}
+
+// solveEpoch builds the epoch scenario from the batched requests, solves it
+// with TSAJS, and answers every request.
+func (w *solveWorker) solveEpoch(eb epochBatch) {
+	s := w.srv
+	sc, err := w.buildScenario(eb)
+	if err != nil {
+		s.failBatch(eb.batch, "epoch scenario: "+err.Error())
+		return
+	}
+	res, err := w.ttsa.Schedule(sc, eb.solveRNG)
+	if err != nil {
+		s.failBatch(eb.batch, "scheduling: "+err.Error())
+		return
+	}
+	if err := solver.Verify(sc, res); err != nil {
+		s.failBatch(eb.batch, "verification: "+err.Error())
+		return
+	}
+	rep := objective.New(sc).Evaluate(res.Assignment)
+	s.stats.epochScheduled(len(eb.batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
+	s.stats.epochLatency.Observe(time.Since(eb.collected).Seconds())
+	for i, p := range eb.batch {
+		m := rep.Users[i]
+		reply(p, OffloadResponse{
+			Version:         ProtocolVersion,
+			UserID:          p.req.UserID,
+			Offload:         m.Offloaded,
+			Server:          m.Server,
+			Channel:         m.Channel,
+			FUsHz:           m.FUsHz,
+			ExpectedDelayS:  m.DelayS,
+			ExpectedEnergyJ: m.EnergyJ,
+			Utility:         m.Utility,
+			Epoch:           eb.epoch,
+		})
+	}
+}
+
+// buildScenario assembles a one-epoch scenario from the batch into the
+// worker's scratch buffers. Channel gains come from the coordinator's
+// calibrated path-loss model — the simulator stand-in for measured CSI —
+// drawn from the epoch's pre-derived gain stream.
+func (w *solveWorker) buildScenario(eb epochBatch) (*scenario.Scenario, error) {
+	s := w.srv
+	p := s.cfg.Params
+	n := len(eb.batch)
+	if cap(w.users) < n {
+		w.users = make([]scenario.User, n)
+		w.positions = make([]geom.Point, n)
+	}
+	w.users = w.users[:n]
+	w.positions = w.positions[:n]
+	for i, pd := range eb.batch {
+		w.positions[i] = pd.req.Pos
+		w.users[i] = scenario.User{
+			Pos:        pd.req.Pos,
+			Task:       pd.req.Task,
+			FLocalHz:   pd.req.FLocalHz,
+			TxPowerW:   pd.req.TxPowerW,
+			Kappa:      pd.req.Kappa,
+			BetaTime:   pd.req.BetaTime,
+			BetaEnergy: pd.req.BetaEnergy,
+			Lambda:     pd.req.Lambda,
+		}
+	}
+	gain, err := radio.NewGainTensorInto(w.gainBuf, p.PathLoss, w.positions, s.sites, p.NumChannels, eb.gainRNG)
+	if err != nil {
+		return nil, err
+	}
+	w.gainBuf = gain.Data()
+	w.sc.Users = w.users
+	w.sc.Servers = s.servers
+	w.sc.Gain = gain
+	w.sc.Model = p.PathLoss
+	w.sc.NumChannels = p.NumChannels
+	w.sc.BandwidthHz = p.BandwidthHz
+	w.sc.NoiseW = units.DBmToWatts(p.NoiseDBm)
+	w.sc.DownlinkRateBps = p.DownlinkRateBps
+	w.sc.Seed = s.cfg.Seed
+	if err := w.sc.Finalize(); err != nil {
+		return nil, err
+	}
+	return &w.sc, nil
+}
+
+// respEncoder is a pooled response-encoding buffer for the connection write
+// path: responses are marshalled into a recycled buffer and written to the
+// connection in one call, so the per-request write path does not allocate a
+// fresh encoder state per connection turn.
+type respEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var respEncoders = sync.Pool{New: func() any {
+	e := new(respEncoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// writeResponse encodes resp as one newline-terminated JSON line and writes
+// it to conn using a pooled buffer.
+func writeResponse(conn net.Conn, resp OffloadResponse) error {
+	e := respEncoders.Get().(*respEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(resp); err != nil {
+		respEncoders.Put(e)
+		return err
+	}
+	_, err := conn.Write(e.buf.Bytes())
+	respEncoders.Put(e)
+	return err
+}

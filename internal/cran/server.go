@@ -6,17 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/geom"
-	"github.com/tsajs/tsajs/internal/objective"
 	"github.com/tsajs/tsajs/internal/obs"
-	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
-	"github.com/tsajs/tsajs/internal/solver"
 	"github.com/tsajs/tsajs/internal/units"
 )
 
@@ -52,6 +50,18 @@ type ServerConfig struct {
 	// the cap are answered with an error response and closed immediately.
 	// Zero defaults to 256.
 	MaxConns int
+	// Workers is the number of solver workers draining the epoch queue.
+	// Each worker owns its own TTSA instance and reusable epoch scratch, so
+	// K workers solve up to K epochs concurrently while the collector keeps
+	// batching. Per-epoch results are bit-identical for every worker count
+	// (the epoch number and its RNG streams are stamped at enqueue time).
+	// Zero defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the solve queue between the batch collector and
+	// the workers. A batch flushed while the queue is full is failed
+	// immediately with ErrQueueFull (fail-fast backpressure; queued work
+	// never grows without bound). Zero defaults to max(4, 2·Workers).
+	QueueDepth int
 	// Listener, when non-nil, serves on the provided listener instead of
 	// binding addr — the hook tests use to interpose chaos wrappers.
 	Listener net.Listener
@@ -81,6 +91,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxConns == 0 {
 		c.MaxConns = 256
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+		if c.QueueDepth < 4 {
+			c.QueueDepth = 4
+		}
+	}
 	return c
 }
 
@@ -102,6 +121,12 @@ func (c ServerConfig) Validate() error {
 	if cc.MaxConns < 0 {
 		return fmt.Errorf("cran: max connections must be non-negative, got %d", cc.MaxConns)
 	}
+	if cc.Workers < 0 {
+		return fmt.Errorf("cran: worker count must be non-negative, got %d", cc.Workers)
+	}
+	if cc.QueueDepth < 0 {
+		return fmt.Errorf("cran: queue depth must be non-negative, got %d", cc.QueueDepth)
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -120,9 +145,11 @@ type Server struct {
 	ttsa    *core.TTSA
 	ln      net.Listener
 	sites   []geom.Point
+	servers []scenario.Server
 	rng     *simrand.Source
 	epoch   uint64
 	submit  chan pending
+	solveQ  chan epochBatch
 	started time.Time
 
 	quit    chan struct{}
@@ -173,15 +200,27 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		sites:   geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
 		rng:     simrand.New(cfg.Seed),
 		submit:  make(chan pending),
+		solveQ:  make(chan epochBatch, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		metrics: reg,
 		stats:   newStatsCollector(reg),
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
 	}
-	s.wg.Add(2)
+	// The MEC server descriptors are static for the server's lifetime:
+	// build the slice once here instead of once per epoch, and let every
+	// solver worker's epoch scenario share it read-only.
+	s.servers = make([]scenario.Server, len(s.sites))
+	for i, pos := range s.sites {
+		s.servers[i] = scenario.Server{Pos: pos, FHz: cfg.Params.ServerFreqHz}
+	}
+	s.stats.workers.Set(float64(cfg.Workers))
+	s.wg.Add(2 + cfg.Workers)
 	go s.acceptLoop()
 	go s.batchLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.newSolveWorker().loop()
+	}
 	return s, nil
 }
 
@@ -246,7 +285,7 @@ func (s *Server) acceptLoop() {
 			s.stats.connThrottled()
 			// Tell the client why before hanging up, so it can degrade
 			// rather than diagnose a silent close.
-			_ = json.NewEncoder(conn).Encode(OffloadResponse{
+			_ = writeResponse(conn, OffloadResponse{
 				Version: ProtocolVersion,
 				Error:   "coordinator at connection capacity",
 			})
@@ -284,7 +323,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		initial = s.cfg.MaxLineBytes
 	}
 	scanner.Buffer(make([]byte, initial), s.cfg.MaxLineBytes)
-	enc := json.NewEncoder(conn)
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -294,7 +332,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// The scanner lost the line boundary, so answer with the
 				// typed limit error and drop the connection.
 				s.stats.oversizeRequest()
-				_ = enc.Encode(OffloadResponse{Version: ProtocolVersion, Error: ErrRequestTooLarge.Error()})
+				_ = writeResponse(conn, OffloadResponse{Version: ProtocolVersion, Error: ErrRequestTooLarge.Error()})
 			}
 			return
 		}
@@ -303,7 +341,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		resp := s.handle(line)
-		if err := enc.Encode(resp); err != nil {
+		if err := writeResponse(conn, resp); err != nil {
 			return
 		}
 		if s.isClosed() {
@@ -391,7 +429,13 @@ func (s *Server) applyDefaults(req *OffloadRequest) {
 	}
 }
 
-// batchLoop groups submissions into epochs and schedules each epoch.
+// batchLoop is the pipeline's pure collector: it groups submissions into
+// epochs and hands each epoch to the bounded solve queue instead of solving
+// inline, so collecting the next batch overlaps the solve of the previous
+// one. The epoch number and both per-epoch RNG streams are stamped here, at
+// enqueue time — simrand.Derive reads only the parent seed, so the streams
+// are bit-identical to the pre-pipeline coordinator's and independent of
+// which worker eventually solves the batch.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
 	var (
@@ -401,7 +445,7 @@ func (s *Server) batchLoop() {
 	)
 	flush := func() {
 		if len(batch) > 0 {
-			s.scheduleEpochSafe(batch)
+			s.enqueueEpoch(batch)
 			batch = nil
 		}
 		if timer != nil {
@@ -427,60 +471,34 @@ func (s *Server) batchLoop() {
 			fire = nil
 			flush()
 		case <-s.quit:
-			// Fail whatever is still queued.
+			// Fail whatever is still collecting, then close the solve
+			// queue: the workers drain it, failing every queued batch.
 			s.failBatch(batch, "coordinator shutting down")
+			close(s.solveQ)
 			return
 		}
 	}
 }
 
-// scheduleEpochSafe confines a panic in the scheduling path to the epoch
-// that caused it: the batch is failed with an error response and the batch
-// loop keeps serving subsequent epochs.
-func (s *Server) scheduleEpochSafe(batch []pending) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.stats.panicRecovered()
-			s.failBatch(batch, fmt.Sprintf("internal error: %v", r))
-		}
-	}()
-	s.scheduleEpoch(batch)
-}
-
-// scheduleEpoch builds the epoch scenario from the batched requests,
-// solves it with TSAJS, and answers every request.
-func (s *Server) scheduleEpoch(batch []pending) {
+// enqueueEpoch stamps the next epoch number and its RNG streams on the
+// batch and offers it to the solve queue. A full queue fails the batch
+// immediately (ErrQueueFull): the coordinator sheds load at the epoch
+// boundary rather than queueing unboundedly or stalling collection.
+func (s *Server) enqueueEpoch(batch []pending) {
 	s.epoch++
-	sc, err := s.buildScenario(batch)
-	if err != nil {
-		s.failBatch(batch, "epoch scenario: "+err.Error())
-		return
+	eb := epochBatch{
+		epoch:     s.epoch,
+		batch:     batch,
+		solveRNG:  s.rng.Derive(s.epoch),
+		gainRNG:   s.rng.Derive(s.epoch ^ gainStreamLabel),
+		collected: time.Now(),
 	}
-	res, err := s.ttsa.Schedule(sc, s.rng.Derive(s.epoch))
-	if err != nil {
-		s.failBatch(batch, "scheduling: "+err.Error())
-		return
-	}
-	if err := solver.Verify(sc, res); err != nil {
-		s.failBatch(batch, "verification: "+err.Error())
-		return
-	}
-	rep := objective.New(sc).Evaluate(res.Assignment)
-	s.stats.epochScheduled(len(batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
-	for i, p := range batch {
-		m := rep.Users[i]
-		reply(p, OffloadResponse{
-			Version:         ProtocolVersion,
-			UserID:          p.req.UserID,
-			Offload:         m.Offloaded,
-			Server:          m.Server,
-			Channel:         m.Channel,
-			FUsHz:           m.FUsHz,
-			ExpectedDelayS:  m.DelayS,
-			ExpectedEnergyJ: m.EnergyJ,
-			Utility:         m.Utility,
-			Epoch:           s.epoch,
-		})
+	select {
+	case s.solveQ <- eb:
+		s.stats.queueDepth.Set(float64(len(s.solveQ)))
+	default:
+		s.stats.epochRejected()
+		s.failBatch(batch, ErrQueueFull.Error())
 	}
 }
 
@@ -501,47 +519,3 @@ func reply(p pending, resp OffloadResponse) {
 	}
 }
 
-// buildScenario assembles a one-epoch scenario from the batch. Channel
-// gains come from the coordinator's calibrated path-loss model — the
-// simulator stand-in for measured CSI.
-func (s *Server) buildScenario(batch []pending) (*scenario.Scenario, error) {
-	p := s.cfg.Params
-	servers := make([]scenario.Server, len(s.sites))
-	for i, pos := range s.sites {
-		servers[i] = scenario.Server{Pos: pos, FHz: p.ServerFreqHz}
-	}
-	positions := make([]geom.Point, len(batch))
-	users := make([]scenario.User, len(batch))
-	for i, pd := range batch {
-		positions[i] = pd.req.Pos
-		users[i] = scenario.User{
-			Pos:        pd.req.Pos,
-			Task:       pd.req.Task,
-			FLocalHz:   pd.req.FLocalHz,
-			TxPowerW:   pd.req.TxPowerW,
-			Kappa:      pd.req.Kappa,
-			BetaTime:   pd.req.BetaTime,
-			BetaEnergy: pd.req.BetaEnergy,
-			Lambda:     pd.req.Lambda,
-		}
-	}
-	gain, err := radio.NewGainTensor(p.PathLoss, positions, s.sites, p.NumChannels, s.rng.Derive(s.epoch^0xc51))
-	if err != nil {
-		return nil, err
-	}
-	sc := &scenario.Scenario{
-		Users:           users,
-		Servers:         servers,
-		Gain:            gain,
-		Model:           p.PathLoss,
-		NumChannels:     p.NumChannels,
-		BandwidthHz:     p.BandwidthHz,
-		NoiseW:          units.DBmToWatts(p.NoiseDBm),
-		DownlinkRateBps: p.DownlinkRateBps,
-		Seed:            s.cfg.Seed,
-	}
-	if err := sc.Finalize(); err != nil {
-		return nil, err
-	}
-	return sc, nil
-}

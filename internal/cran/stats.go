@@ -37,6 +37,19 @@ type Stats struct {
 	OversizeRequests uint64 `json:"oversizeRequests"`
 	// ThrottledConns counts connections refused at the MaxConns cap.
 	ThrottledConns uint64 `json:"throttledConns"`
+	// EpochsRejected counts epoch batches failed at the solve-queue cap
+	// (fail-fast backpressure; every request in such a batch also counts
+	// in Rejected).
+	EpochsRejected uint64 `json:"epochsRejected"`
+	// QueueDepth is the solve queue's depth when last sampled (batches
+	// collected but not yet picked up by a solver worker).
+	QueueDepth int `json:"queueDepth"`
+	// InflightSolves is the number of epoch solves executing right now.
+	InflightSolves int `json:"inflightSolves"`
+	// SolverWorkers is the configured solver worker count.
+	SolverWorkers int `json:"solverWorkers"`
+	// MeanEpochLatency is the average collect-to-answer epoch latency.
+	MeanEpochLatency time.Duration `json:"meanEpochLatency"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -61,6 +74,14 @@ type statsCollector struct {
 	batch       *obs.Histogram
 	solve       *obs.Histogram
 	utility     *obs.Histogram
+
+	// Pipeline metrics: the solve queue between the batch collector and
+	// the solver workers, and the collect-to-answer epoch latency.
+	epochsRejected *obs.Counter
+	queueDepth     *obs.Gauge
+	inflight       *obs.Gauge
+	workers        *obs.Gauge
+	epochLatency   *obs.Histogram
 }
 
 func newStatsCollector(reg *obs.Registry) *statsCollector {
@@ -93,11 +114,22 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 			"Scheduler wall time per epoch.", obs.DefaultLatencyEdges),
 		utility: reg.Histogram("tsajs_coordinator_epoch_utility",
 			"Achieved system utility per epoch.", obs.DefaultUtilityEdges),
+		epochsRejected: reg.Counter("tsajs_coordinator_epochs_rejected_total",
+			"Epoch batches failed at the solve-queue cap (fail-fast backpressure)."),
+		queueDepth: reg.Gauge("tsajs_coordinator_queue_depth",
+			"Epoch batches waiting in the solve queue, last sampled."),
+		inflight: reg.Gauge("tsajs_coordinator_inflight_solves",
+			"Epoch solves currently executing on solver workers."),
+		workers: reg.Gauge("tsajs_coordinator_solver_workers",
+			"Configured solver worker count."),
+		epochLatency: reg.Histogram("tsajs_coordinator_epoch_latency_seconds",
+			"Collect-to-answer latency per epoch (queue wait + solve + evaluation).", obs.DefaultLatencyEdges),
 	}
 }
 
 func (c *statsCollector) requestEntered()  { c.requests.Inc() }
 func (c *statsCollector) requestRejected() { c.rejected.Inc() }
+func (c *statsCollector) epochRejected()   { c.epochsRejected.Inc() }
 func (c *statsCollector) healthServed()    { c.healthChecks.Inc() }
 func (c *statsCollector) panicRecovered()  { c.panics.Inc() }
 func (c *statsCollector) oversizeRequest() { c.oversize.Inc() }
@@ -139,6 +171,15 @@ func (c *statsCollector) snapshot() Stats {
 	s.PanicsRecovered = c.panics.Value()
 	s.OversizeRequests = c.oversize.Value()
 	s.ThrottledConns = c.throttled.Value()
+
+	s.EpochsRejected = c.epochsRejected.Value()
+	s.QueueDepth = int(c.queueDepth.Value())
+	s.InflightSolves = int(c.inflight.Value())
+	s.SolverWorkers = int(c.workers.Value())
+	lat := c.epochLatency.Snapshot()
+	if n := lat.Count(); n > 0 {
+		s.MeanEpochLatency = time.Duration(lat.Sum / float64(n) * float64(time.Second))
+	}
 	return s
 }
 

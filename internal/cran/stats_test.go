@@ -23,6 +23,10 @@ import (
 func TestStatsConsistentUnderConcurrentLoad(t *testing.T) {
 	cfg := testServerConfig()
 	cfg.BatchWindow = 2 * time.Millisecond
+	// Deep solve queue: this test asserts every valid request is scheduled,
+	// so the 100-client burst must never hit the fail-fast overflow policy
+	// (2ms windows can flush up to one epoch per client under -race).
+	cfg.QueueDepth = 128
 	ttsaCfg := *cfg.TTSA
 	ttsaCfg.MaxEvaluations = 200
 	cfg.TTSA = &ttsaCfg

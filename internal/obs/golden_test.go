@@ -39,6 +39,24 @@ and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
 	}
 	reg.Histogram("tsajs_test_empty_seconds", "Histogram with no observations.",
 		[]float64{1, 2})
+
+	// The coordinator's solve-queue pipeline family (as registered by
+	// internal/cran): pins the exposition of the queue gauges and a latency
+	// histogram over the production bucket edges.
+	reg.Counter("tsajs_coordinator_epochs_rejected_total",
+		"Epoch batches failed at the solve-queue cap (fail-fast backpressure).").Add(3)
+	reg.Gauge("tsajs_coordinator_queue_depth",
+		"Epoch batches waiting in the solve queue, last sampled.").Set(2)
+	reg.Gauge("tsajs_coordinator_inflight_solves",
+		"Epoch solves currently executing on solver workers.").Set(1)
+	reg.Gauge("tsajs_coordinator_solver_workers",
+		"Configured solver worker count.").Set(4)
+	lat := reg.Histogram("tsajs_coordinator_epoch_latency_seconds",
+		"Collect-to-answer latency per epoch (queue wait + solve + evaluation).",
+		DefaultLatencyEdges)
+	for _, v := range []float64{0.002, 0.004, 0.05} {
+		lat.Observe(v)
+	}
 	return reg
 }
 
@@ -82,6 +100,20 @@ func TestGoldenJSON(t *testing.T) {
 // comes from sorting, not registration history.
 func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
 	reg := NewRegistry()
+	lat := reg.Histogram("tsajs_coordinator_epoch_latency_seconds",
+		"Collect-to-answer latency per epoch (queue wait + solve + evaluation).",
+		DefaultLatencyEdges)
+	for _, v := range []float64{0.002, 0.004, 0.05} {
+		lat.Observe(v)
+	}
+	reg.Gauge("tsajs_coordinator_solver_workers",
+		"Configured solver worker count.").Set(4)
+	reg.Gauge("tsajs_coordinator_inflight_solves",
+		"Epoch solves currently executing on solver workers.").Set(1)
+	reg.Gauge("tsajs_coordinator_queue_depth",
+		"Epoch batches waiting in the solve queue, last sampled.").Set(2)
+	reg.Counter("tsajs_coordinator_epochs_rejected_total",
+		"Epoch batches failed at the solve-queue cap (fail-fast backpressure).").Add(3)
 	reg.Histogram("tsajs_test_empty_seconds", "Histogram with no observations.",
 		[]float64{1, 2})
 	h := reg.Histogram("tsajs_test_delay_seconds", "Per-task delay.",

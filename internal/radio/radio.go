@@ -95,6 +95,15 @@ type GainTensor struct {
 // paper's Section III-A2) and the optional frequency-selective term once
 // per (user, site, subchannel).
 func NewGainTensor(m PathLossModel, users, sites []geom.Point, numChannels int, rng *simrand.Source) (GainTensor, error) {
+	return NewGainTensorInto(nil, m, users, sites, numChannels, rng)
+}
+
+// NewGainTensorInto is NewGainTensor drawing into a caller-owned backing
+// slice: when cap(buf) covers the tensor, the returned tensor aliases buf
+// and no allocation happens. The draw order is identical to NewGainTensor,
+// so for the same rng state the gains are bit-identical. Callers that
+// recycle the buffer across epochs retrieve it back with Data().
+func NewGainTensorInto(buf []float64, m PathLossModel, users, sites []geom.Point, numChannels int, rng *simrand.Source) (GainTensor, error) {
 	if err := m.Validate(); err != nil {
 		return GainTensor{}, err
 	}
@@ -104,8 +113,12 @@ func NewGainTensor(m PathLossModel, users, sites []geom.Point, numChannels int, 
 	if len(sites) == 0 {
 		return GainTensor{}, errors.New("radio: no base station sites")
 	}
+	need := len(users) * len(sites) * numChannels
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
 	h := GainTensor{
-		data:     make([]float64, len(users)*len(sites)*numChannels),
+		data:     buf[:need],
 		sites:    len(sites),
 		channels: numChannels,
 	}

@@ -237,11 +237,15 @@ func (sc *Scenario) Finalize() error {
 		return err
 	}
 	w := sc.SubchannelHz()
-	sc.derived = make([]Derived, len(sc.Users))
-	sc.commWeight = make([]float64, len(sc.Users))
-	sc.gainConst = make([]float64, len(sc.Users))
-	sc.sqrtEta = make([]float64, len(sc.Users))
-	sc.txPowers = make([]float64, len(sc.Users))
+	// The derived tables are rebuilt in full on every Finalize, so existing
+	// capacity can be recycled: a coordinator solver worker that reuses one
+	// Scenario value across epochs re-finalizes without allocating once its
+	// buffers have grown to the epoch's user count.
+	sc.derived = growDerived(sc.derived, len(sc.Users))
+	sc.commWeight = growF64(sc.commWeight, len(sc.Users))
+	sc.gainConst = growF64(sc.gainConst, len(sc.Users))
+	sc.sqrtEta = growF64(sc.sqrtEta, len(sc.Users))
+	sc.txPowers = growF64(sc.txPowers, len(sc.Users))
 	for i, u := range sc.Users {
 		local, err := task.Local(u.Task, u.FLocalHz, u.Kappa)
 		if err != nil {
@@ -268,14 +272,14 @@ func (sc *Scenario) Finalize() error {
 		sc.sqrtEta[i] = sc.derived[i].SqrtEta
 		sc.txPowers[i] = u.TxPowerW
 	}
-	sc.serverFreq = make([]float64, len(sc.Servers))
+	sc.serverFreq = growF64(sc.serverFreq, len(sc.Servers))
 	for s := range sc.Servers {
 		sc.serverFreq[s] = sc.Servers[s].FHz
 	}
 	// Received-power table: one contiguous user-major block mirroring the
 	// gain tensor's layout, so kernels share the same stride arithmetic.
 	gains := sc.Gain.Data()
-	sc.recvPower = make([]float64, len(gains))
+	sc.recvPower = growF64(sc.recvPower, len(gains))
 	stride := len(sc.Servers) * sc.NumChannels
 	for u := range sc.Users {
 		p := sc.Users[u].TxPowerW
@@ -286,6 +290,23 @@ func (sc *Scenario) Finalize() error {
 		}
 	}
 	return nil
+}
+
+// growF64 returns a length-n slice, reusing s's storage when its capacity
+// suffices. Callers overwrite every element, so stale contents never leak.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// growDerived is growF64 for the per-user Derived table.
+func growDerived(s []Derived, n int) []Derived {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]Derived, n)
 }
 
 // Params configures Build. The zero value is not valid; start from

@@ -252,7 +252,18 @@ func MetricsMux(r *MetricsRegistry, stats func() any) *http.ServeMux {
 	return obs.Mux(r, stats)
 }
 
+// ErrCoordinatorQueueFull is the failure reason carried by every response in
+// an epoch batch that was flushed while the coordinator's solve queue was at
+// capacity: the batch is shed immediately (fail-fast backpressure) instead of
+// buffering unboundedly behind slow solves.
+var ErrCoordinatorQueueFull = cran.ErrQueueFull
+
 // NewCoordinator starts a C-RAN scheduling coordinator listening on addr.
+// The coordinator pipelines its serving path: a collector goroutine batches
+// requests into epochs and stamps each epoch's number and RNG streams at
+// enqueue time, and CoordinatorConfig.Workers solver goroutines drain the
+// bounded solve queue — per-epoch results are bit-identical for every worker
+// count.
 func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	return cran.NewServer(addr, cfg)
 }
