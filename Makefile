@@ -11,6 +11,15 @@ tier1:
 race:
 	go test -race -short ./...
 
+# Chaos smoke: the end-to-end overload harness (internal/chaos) — calibrate
+# a coordinator's sustainable rate, drive a fault-injected one at 2× that
+# rate over real TCP, and assert the resilience invariants (every request
+# answered exactly once, no deadline-expired full solves, goodput floor,
+# recovery after the fault window).
+.PHONY: chaos-smoke
+chaos-smoke:
+	go test -run='^TestHarness' -count=1 -v ./internal/chaos
+
 # Fuzz smoke: every native fuzz target runs its checked-in corpus
 # (testdata/fuzz/ + f.Add seeds) plus a few seconds of fresh exploration.
 .PHONY: fuzz-smoke
@@ -75,7 +84,7 @@ bench:
 # utility, and the coordinator's per-epoch allocation count and utility
 # (BenchmarkServeEpoch solves the same epoch every iteration, so both are
 # deterministic; BenchmarkServePipeline's epochs/s is timing and stays out).
-QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch)$$
+QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch|BenchmarkServeEpochDegraded)$$
 
 .PHONY: bench-check
 bench-check:

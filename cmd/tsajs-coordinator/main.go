@@ -52,6 +52,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		workers    = fs.Int("workers", 0, "solver workers draining the epoch queue (0 = GOMAXPROCS)")
 		queueDepth = fs.Int("queue-depth", 0, "solve queue depth before epochs are shed (0 = 2x workers)")
 
+		deadline = fs.Duration("deadline", 0, "default per-request deadline; stale requests are shed at admission or dequeue (0 = none)")
+		brownout = fs.Bool("brownout", false, "degrade epoch solves under queue pressure (truncated anneal, then cheap heuristic) instead of shedding")
+
 		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (negative disables)")
 		maxLine     = fs.Int("max-line-bytes", 1<<20, "maximum request line length on the wire [bytes]")
 		maxConns    = fs.Int("max-conns", 256, "maximum concurrently served connections")
@@ -82,6 +85,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		MaxLineBytes: *maxLine,
 		MaxConns:     *maxConns,
 		Metrics:      reg,
+
+		DefaultDeadline: *deadline,
+		Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
 	})
 	if err != nil {
 		return err
@@ -117,6 +123,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if stats.OversizeRequests+stats.ThrottledConns+stats.PanicsRecovered+stats.EpochsRejected > 0 {
 		fmt.Fprintf(stdout, "hardening: %d oversize requests, %d throttled connections, %d panics recovered, %d epochs shed\n",
 			stats.OversizeRequests, stats.ThrottledConns, stats.PanicsRecovered, stats.EpochsRejected)
+	}
+	degraded := stats.EpochsDegradedTruncated + stats.EpochsDegradedCheap
+	shed := stats.ShedQueueFull + stats.ShedAdmission + stats.ShedExpired
+	if degraded+stats.EpochsExpired+shed > 0 {
+		fmt.Fprintf(stdout,
+			"overload: %d epochs degraded (%d truncated, %d cheap), %d epochs expired, %d requests shed (%d queue-full, %d admission, %d expired)\n",
+			degraded, stats.EpochsDegradedTruncated, stats.EpochsDegradedCheap, stats.EpochsExpired,
+			shed, stats.ShedQueueFull, stats.ShedAdmission, stats.ShedExpired)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	tsajs-loadgen -conns 16 -duration 10s               # self-hosted coordinator
 //	tsajs-loadgen -addr 127.0.0.1:7600 -rate 200        # externally running one
 //	tsajs-loadgen -workers 4 -queue-depth 8 -json       # pipeline knobs + JSON report
+//	tsajs-loadgen -deadline 150 -brownout -chaos 40ms   # overload-resilience drill
 //
 // With -addr empty (the default) the tool starts an in-process coordinator
 // with the given -servers/-channels/-workers/-queue-depth configuration, so
@@ -20,13 +21,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -48,7 +49,9 @@ type report struct {
 
 	Requests        int `json:"requests"`
 	Scheduled       int `json:"scheduled"`
+	Degraded        int `json:"degraded"`
 	Rejected        int `json:"rejected"`
+	Expired         int `json:"expired"`
 	TransportErrors int `json:"transportErrors"`
 
 	RequestsPerSec float64 `json:"requestsPerSec"`
@@ -61,6 +64,8 @@ type report struct {
 	QueueDepth     int     `json:"queueDepth"`
 	MaxQueueDepth  int     `json:"maxQueueDepth"`
 	EpochsRejected uint64  `json:"epochsRejected"`
+	EpochsDegraded uint64  `json:"epochsDegraded"`
+	EpochsExpired  uint64  `json:"epochsExpired"`
 	SolverWorkers  int     `json:"solverWorkers"`
 }
 
@@ -82,6 +87,10 @@ func run(args []string, stdout io.Writer) error {
 		queueDepth = fs.Int("queue-depth", 0, "self-host: solve queue depth (0 = 2x workers)")
 		budget     = fs.Int("budget", 4000, "self-host: TTSA evaluation budget per epoch")
 		seed       = fs.Uint64("seed", 1, "self-host: coordinator random seed")
+
+		deadlineMs = fs.Float64("deadline", 0, "self-host: default per-request deadline [ms] (0 = none)")
+		brownout   = fs.Bool("brownout", false, "self-host: enable brownout solver degradation under queue pressure")
+		chaos      = fs.Duration("chaos", 0, "self-host: inject this solver delay into every epoch (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,15 +109,21 @@ func run(args []string, stdout io.Writer) error {
 		params.NumChannels = *channels
 		ttsaCfg := tsajs.DefaultConfig()
 		ttsaCfg.MaxEvaluations = *budget
-		srv, err := tsajs.NewCoordinator("127.0.0.1:0", tsajs.CoordinatorConfig{
-			Params:      params,
-			BatchWindow: *window,
-			MaxBatch:    *batch,
-			Workers:     *workers,
-			QueueDepth:  *queueDepth,
-			TTSA:        &ttsaCfg,
-			Seed:        *seed,
-		})
+		cfg := tsajs.CoordinatorConfig{
+			Params:          params,
+			BatchWindow:     *window,
+			MaxBatch:        *batch,
+			Workers:         *workers,
+			QueueDepth:      *queueDepth,
+			TTSA:            &ttsaCfg,
+			Seed:            *seed,
+			DefaultDeadline: time.Duration(*deadlineMs * float64(time.Millisecond)),
+			Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
+		}
+		if *chaos > 0 {
+			cfg.SolverChaos = &tsajs.SolverChaos{Seed: *seed, DelayProb: 1, Delay: *chaos}
+		}
+		srv, err := tsajs.NewCoordinator("127.0.0.1:0", cfg)
 		if err != nil {
 			return err
 		}
@@ -133,13 +148,13 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, ", %.0f req/s target", rep.OfferedRPS)
 	}
 	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "requests: %d total, %d scheduled, %d rejected, %d transport errors\n",
-		rep.Requests, rep.Scheduled, rep.Rejected, rep.TransportErrors)
+	fmt.Fprintf(stdout, "requests: %d total, %d scheduled (%d degraded tier), %d rejected, %d expired, %d transport errors\n",
+		rep.Requests, rep.Scheduled, rep.Degraded, rep.Rejected, rep.Expired, rep.TransportErrors)
 	fmt.Fprintf(stdout, "throughput: %.1f req/s, %.2f epochs/s (mean batch %.1f)\n",
 		rep.RequestsPerSec, rep.EpochsPerSec, rep.MeanBatch)
 	fmt.Fprintf(stdout, "latency: p50 %.1fms, p95 %.1fms, p99 %.1fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
-	fmt.Fprintf(stdout, "pipeline: %d solver workers, queue depth %d (max seen %d), %d epochs shed\n",
-		rep.SolverWorkers, rep.QueueDepth, rep.MaxQueueDepth, rep.EpochsRejected)
+	fmt.Fprintf(stdout, "pipeline: %d solver workers, queue depth %d (max seen %d), %d epochs shed, %d degraded, %d expired\n",
+		rep.SolverWorkers, rep.QueueDepth, rep.MaxQueueDepth, rep.EpochsRejected, rep.EpochsDegraded, rep.EpochsExpired)
 	return nil
 }
 
@@ -165,7 +180,9 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 	type connStats struct {
 		latencies []time.Duration
 		scheduled int
+		degraded  int
 		rejected  int
+		expired   int
 		transport int
 	}
 	stats := make([]connStats, conns)
@@ -201,13 +218,20 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 					Task: tsajs.Task{DataBits: 420 * 8 * 1024, WorkCycles: 1000e6},
 				}
 				start := time.Now()
-				_, err := cli.Offload(ctx, req)
+				resp, err := cli.Offload(ctx, req)
 				elapsed := time.Since(start)
 				switch {
 				case err == nil:
 					stats[c].scheduled++
+					if resp.Tier != "" {
+						stats[c].degraded++
+					}
 					stats[c].latencies = append(stats[c].latencies, elapsed)
-				case strings.Contains(err.Error(), "rejected"):
+				case errors.Is(err, tsajs.ErrDeadlineExceeded):
+					stats[c].expired++
+					stats[c].latencies = append(stats[c].latencies, elapsed)
+				case errors.Is(err, tsajs.ErrCoordinatorQueueFull),
+					errors.Is(err, tsajs.ErrAdmissionRejected):
 					stats[c].rejected++
 					stats[c].latencies = append(stats[c].latencies, elapsed)
 				default:
@@ -251,11 +275,13 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 	for _, cs := range stats {
 		all = append(all, cs.latencies...)
 		rep.Scheduled += cs.scheduled
+		rep.Degraded += cs.degraded
 		rep.Rejected += cs.rejected
+		rep.Expired += cs.expired
 		rep.TransportErrors += cs.transport
 	}
-	rep.Requests = rep.Scheduled + rep.Rejected + rep.TransportErrors
-	rep.RequestsPerSec = float64(rep.Scheduled+rep.Rejected) / elapsed
+	rep.Requests = rep.Scheduled + rep.Rejected + rep.Expired + rep.TransportErrors
+	rep.RequestsPerSec = float64(rep.Scheduled+rep.Rejected+rep.Expired) / elapsed
 	rep.EpochsPerSec = float64(after.Stats.Epochs-before.Stats.Epochs) / elapsed
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50Ms = quantileMs(all, 0.50)
@@ -264,6 +290,8 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 	rep.MeanBatch = after.Stats.MeanBatch
 	rep.QueueDepth = after.Stats.QueueDepth
 	rep.EpochsRejected = after.Stats.EpochsRejected
+	rep.EpochsDegraded = after.Stats.EpochsDegradedTruncated + after.Stats.EpochsDegradedCheap
+	rep.EpochsExpired = after.Stats.EpochsExpired
 	rep.SolverWorkers = after.Stats.SolverWorkers
 	return rep, nil
 }

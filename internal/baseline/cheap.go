@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// DefaultCheapHJTORAMaxUsers is the batch size up to which Cheap prefers
+// hJTORA over Greedy. hJTORA's steepest-ascent rounds scan U·(S·N+1)+U²/2
+// candidates each, so it is affordable — and near-optimal — only on small
+// epochs; beyond the threshold its cost grows faster than the latency
+// budget a degraded tier exists to protect.
+const DefaultCheapHJTORAMaxUsers = 10
+
+// Cheap is the budgeted cheap-tier scheduler used by the coordinator's
+// brownout path: a deterministic, anneal-free solver that answers fast at
+// the cost of solution quality. Small epochs (≤ HJTORAMaxUsers users) get
+// hJTORA — near-optimal and still cheap at that size; larger epochs fall
+// back to the paper's Greedy method, whose cost is a single utility-checked
+// pass in signal-strength order.
+//
+// Both members are deterministic and ignore their RNG, so a Cheap solve is
+// a pure function of the scenario — the property the serving path's
+// worker-count differential tests rely on.
+type Cheap struct {
+	// HJTORAMaxUsers is the largest batch hJTORA is used for; zero
+	// defaults to DefaultCheapHJTORAMaxUsers.
+	HJTORAMaxUsers int
+
+	hjtora HJTORA
+	greedy Greedy
+}
+
+var _ solver.Scheduler = (*Cheap)(nil)
+
+// Name implements solver.Scheduler.
+func (c *Cheap) Name() string { return "Cheap" }
+
+// Schedule implements solver.Scheduler. Deterministic; rng is unused by
+// both members.
+func (c *Cheap) Schedule(sc *scenario.Scenario, rng *simrand.Source) (solver.Result, error) {
+	maxU := c.HJTORAMaxUsers
+	if maxU == 0 {
+		maxU = DefaultCheapHJTORAMaxUsers
+	}
+	var res solver.Result
+	var err error
+	if sc.U() <= maxU {
+		res, err = c.hjtora.Schedule(sc, rng)
+	} else {
+		res, err = c.greedy.Schedule(sc, rng)
+	}
+	if err != nil {
+		return solver.Result{}, err
+	}
+	// Report under the portfolio-member name so telemetry can tell a cheap
+	// solve from a directly-invoked baseline.
+	res.Scheme = c.Name()
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// TestCheapMatchesMemberByBatchSize: below the threshold Cheap must answer
+// exactly like hJTORA; above it, exactly like Greedy — the scheme label is
+// the only difference.
+func TestCheapMatchesMemberByBatchSize(t *testing.T) {
+	cheap := &Cheap{HJTORAMaxUsers: 6}
+	small := buildScenario(t, 5, 3, 2, 21)
+	large := buildScenario(t, 12, 3, 2, 22)
+
+	cs, err := cheap.Schedule(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := (&HJTORA{}).Schedule(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Utility != hs.Utility || cs.Assignment.String() != hs.Assignment.String() {
+		t.Errorf("small batch: Cheap (%.9f) diverged from hJTORA (%.9f)", cs.Utility, hs.Utility)
+	}
+
+	cl, err := cheap.Schedule(large, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := (&Greedy{}).Schedule(large, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Utility != gl.Utility || cl.Assignment.String() != gl.Assignment.String() {
+		t.Errorf("large batch: Cheap (%.9f) diverged from Greedy (%.9f)", cl.Utility, gl.Utility)
+	}
+
+	for _, res := range []solver.Result{cs, cl} {
+		if res.Scheme != "Cheap" {
+			t.Errorf("scheme = %q, want Cheap", res.Scheme)
+		}
+	}
+}
+
+// TestCheapDeterministicAndFeasible: repeated solves are bit-identical (no
+// RNG dependence) and always verify.
+func TestCheapDeterministicAndFeasible(t *testing.T) {
+	cheap := &Cheap{}
+	for _, users := range []int{4, DefaultCheapHJTORAMaxUsers, 18} {
+		sc := buildScenario(t, users, 3, 2, uint64(40+users))
+		first, err := cheap.Schedule(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := solver.Verify(sc, first); err != nil {
+			t.Fatalf("U=%d: infeasible result: %v", users, err)
+		}
+		again, err := cheap.Schedule(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Utility != again.Utility || first.Assignment.String() != again.Assignment.String() {
+			t.Errorf("U=%d: non-deterministic cheap solve", users)
+		}
+	}
+}

@@ -62,6 +62,67 @@ func BenchmarkServeEpoch(b *testing.B) {
 	b.ReportMetric(utility/float64(b.N), "utility")
 }
 
+// BenchmarkServeEpochDegraded measures the brownout tiers' epoch turnaround
+// on the same fixed batch as BenchmarkServeEpoch: the truncated anneal and
+// the cheap deterministic solver. These are the solves the coordinator falls
+// back to under queue pressure, so their cost — and the utility they give
+// up relative to the full tier — is pinned by the quick bench gate.
+func BenchmarkServeEpochDegraded(b *testing.B) {
+	for _, tier := range []epochTier{tierTruncated, tierCheap} {
+		b.Run("tier="+tier.wire(), func(b *testing.B) {
+			cfg := testServerConfig()
+			cfg.BatchWindow = time.Hour
+			cfg.Workers = 1
+			cfg.Brownout = BrownoutConfig{Enabled: true}
+			srv, err := NewServer("127.0.0.1:0", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			const users = 8
+			reqs := waveRequests(0, users)
+			ps := make([]pending, users)
+			for i := range reqs {
+				reqs[i].Version = ProtocolVersion
+				srv.applyDefaults(&reqs[i])
+				if err := reqs[i].Validate(); err != nil {
+					b.Fatal(err)
+				}
+				ps[i] = pending{req: reqs[i], reply: make(chan OffloadResponse, 1)}
+			}
+			w := srv.newSolveWorker()
+			eb := epochBatch{
+				epoch:     1,
+				batch:     ps,
+				collected: time.Now(),
+				tier:      tier,
+			}
+
+			var utility float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eb.solveRNG = srv.rng.Derive(eb.epoch)
+				eb.gainRNG = srv.rng.Derive(eb.epoch ^ gainStreamLabel)
+				w.solveEpoch(eb)
+				for j := range ps {
+					resp := <-ps[j].reply
+					if resp.Error != "" {
+						b.Fatalf("epoch failed: %s", resp.Error)
+					}
+					if resp.Tier != tier.wire() {
+						b.Fatalf("response tier = %q, want %q", resp.Tier, tier.wire())
+					}
+					utility += resp.Utility
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(utility/float64(b.N), "utility")
+		})
+	}
+}
+
 // BenchmarkServePipeline measures end-to-end coordinator throughput with the
 // solve queue in play: waves are injected ahead of the solvers (up to the
 // queue depth), so batch collection, response delivery, and solving overlap.

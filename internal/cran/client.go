@@ -229,8 +229,11 @@ func (c *Client) isClosed() bool {
 
 // Offload submits one task and waits for the coordinator's decision. The
 // context bounds the whole exchange including retries; a response whose
-// Error field is set is returned as a Go error (rejections are answers,
-// not faults — they are never retried or degraded over).
+// Error field is set is returned as a typed Go error (see
+// OffloadResponse.Err). Rejections are answers, not faults — except
+// backpressure codes (queue full, admission, deadline expiry), which mean
+// the coordinator is alive but overloaded: those are retried with backoff
+// like transport failures, but never counted against the circuit breaker.
 //
 // When the configuration enables DegradeLocal and every attempt fails on
 // transport (coordinator down, connection reset, deadline pressure), the
@@ -270,8 +273,17 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 		resp, err := c.exchange(ctx, req)
 		if err == nil {
 			c.fails = 0
-			if resp.Error != "" {
-				return resp, fmt.Errorf("cran: coordinator rejected request: %s", resp.Error)
+			if werr := resp.Err(); werr != nil {
+				if IsBackpressureCode(resp.Code) {
+					// Backpressure (queue full, admission, expiry) is the
+					// coordinator alive and shedding: retry with backoff,
+					// and never count it against the breaker — tripping
+					// would turn transient overload into minutes of
+					// fast-fails.
+					lastErr = werr
+					continue
+				}
+				return resp, werr
 			}
 			return resp, nil
 		}

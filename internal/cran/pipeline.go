@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tsajs/tsajs/internal/baseline"
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
@@ -38,9 +39,15 @@ const gainStreamLabel = 0xc51
 type epochBatch struct {
 	epoch     uint64
 	batch     []pending
+	tier      epochTier
 	solveRNG  *simrand.Source
 	gainRNG   *simrand.Source
 	collected time.Time
+	// dequeued is stamped by the solver worker when it picks the epoch up —
+	// after any injected chaos delay, immediately before the expiry filter.
+	// It is the reference time of the "no deadline-expired full solves"
+	// invariant.
+	dequeued time.Time
 }
 
 // solveWorker is one epoch-solving goroutine. Each worker owns its own TTSA
@@ -50,8 +57,10 @@ type epochBatch struct {
 // mutable state and the steady-state epoch path stops allocating once the
 // scratch has grown to the configured MaxBatch.
 type solveWorker struct {
-	srv  *Server
-	ttsa *core.TTSA
+	srv           *Server
+	ttsa          *core.TTSA
+	ttsaTruncated *core.TTSA
+	cheap         *baseline.Cheap
 
 	users     []scenario.User
 	positions []geom.Point
@@ -60,7 +69,7 @@ type solveWorker struct {
 }
 
 func (s *Server) newSolveWorker() *solveWorker {
-	return &solveWorker{srv: s, ttsa: s.ttsa}
+	return &solveWorker{srv: s, ttsa: s.ttsa, ttsaTruncated: s.ttsaTruncated, cheap: s.cheap}
 }
 
 // loop drains the solve queue until the collector closes it. A batch queued
@@ -74,14 +83,78 @@ func (w *solveWorker) loop() {
 		s.stats.queueDepth.Set(float64(len(s.solveQ)))
 		select {
 		case <-s.quit:
-			s.failBatch(eb.batch, "coordinator shutting down")
+			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
 			continue
 		default:
+		}
+		started := time.Now()
+		if !s.chaosDelay(eb.epoch, started) {
+			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
+			continue
+		}
+		// Expired requests are answered here, at dequeue, before any solving
+		// starts: a worker is never burned on a solve whose answer could not
+		// arrive in time, and the "no deadline-expired full solves" invariant
+		// is structural rather than raced.
+		eb.dequeued = time.Now()
+		eb.batch = w.expireBatch(eb)
+		if len(eb.batch) == 0 {
+			s.stats.epochExpired()
+			s.noteServiceTime(started)
+			continue
 		}
 		s.stats.inflight.Add(1)
 		w.solveEpochSafe(eb)
 		s.stats.inflight.Add(-1)
+		s.noteServiceTime(started)
 	}
+}
+
+// chaosDelay sleeps the injected slow-solver delay for the epoch, if any,
+// aborting on shutdown. It reports whether the worker should proceed with
+// the epoch.
+func (s *Server) chaosDelay(epoch uint64, at time.Time) bool {
+	d := s.cfg.SolverChaos.DelayFor(epoch, at)
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+// noteServiceTime feeds the admission estimator one epoch's dequeue-to-done
+// service time (injected chaos delay included — a delayed worker holds the
+// queue exactly like a slow solve) and refreshes the wait-estimate gauge.
+func (s *Server) noteServiceTime(started time.Time) {
+	s.wait.note(time.Since(started).Seconds())
+	s.stats.queueWaitEst.Set(s.wait.estimate(len(s.solveQ) + 1).Seconds())
+}
+
+// expireBatch answers every request whose deadline passed while the epoch
+// waited in the solve queue (CodeExpired) and returns the still-live
+// remainder, filtered in place.
+func (w *solveWorker) expireBatch(eb epochBatch) []pending {
+	live := eb.batch[:0]
+	for _, p := range eb.batch {
+		if !p.deadline.IsZero() && eb.dequeued.After(p.deadline) {
+			w.srv.stats.requestShed(CodeExpired)
+			reply(p, OffloadResponse{
+				Version: ProtocolVersion,
+				UserID:  p.req.UserID,
+				Error:   ErrDeadlineExceeded.Error(),
+				Code:    CodeExpired,
+			})
+			continue
+		}
+		live = append(live, p)
+	}
+	return live
 }
 
 // solveEpochSafe confines a panic in the scheduling path to the epoch that
@@ -91,7 +164,7 @@ func (w *solveWorker) solveEpochSafe(eb epochBatch) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.srv.stats.panicRecovered()
-			w.srv.failBatch(eb.batch, fmt.Sprintf("internal error: %v", r))
+			w.srv.failBatch(eb.batch, CodeInternal, fmt.Sprintf("internal error: %v", r))
 		}
 	}()
 	w.solveEpoch(eb)
@@ -101,28 +174,46 @@ func (w *solveWorker) solveEpochSafe(eb epochBatch) {
 // with TSAJS, and answers every request.
 func (w *solveWorker) solveEpoch(eb epochBatch) {
 	s := w.srv
+	if eb.tier == tierFull {
+		// Invariant tripwire: the dequeue filter already dropped every
+		// request expired at eb.dequeued, so a full-quality solve can never
+		// include one. The counter exists so the chaos harness can assert
+		// that independently — it fires only if a future change reorders the
+		// serving path.
+		for _, p := range eb.batch {
+			if !p.deadline.IsZero() && eb.dequeued.After(p.deadline) {
+				s.stats.fullSolveExpired()
+			}
+		}
+	}
 	sc, err := w.buildScenario(eb)
 	if err != nil {
-		s.failBatch(eb.batch, "epoch scenario: "+err.Error())
+		s.failBatch(eb.batch, CodeInternal, "epoch scenario: "+err.Error())
 		return
 	}
-	res, err := w.ttsa.Schedule(sc, eb.solveRNG)
+	res, err := w.schedule(eb, sc)
 	if err != nil {
-		s.failBatch(eb.batch, "scheduling: "+err.Error())
+		s.failBatch(eb.batch, CodeInternal, "scheduling: "+err.Error())
 		return
 	}
 	if err := solver.Verify(sc, res); err != nil {
-		s.failBatch(eb.batch, "verification: "+err.Error())
+		s.failBatch(eb.batch, CodeInternal, "verification: "+err.Error())
 		return
 	}
 	rep := objective.New(sc).Evaluate(res.Assignment)
 	s.stats.epochScheduled(len(eb.batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
+	s.stats.epochDegraded(eb.tier)
 	s.stats.epochLatency.Observe(time.Since(eb.collected).Seconds())
+	var tier string
+	if eb.tier != tierFull {
+		tier = eb.tier.wire()
+	}
 	for i, p := range eb.batch {
 		m := rep.Users[i]
 		reply(p, OffloadResponse{
 			Version:         ProtocolVersion,
 			UserID:          p.req.UserID,
+			Tier:            tier,
 			Offload:         m.Offloaded,
 			Server:          m.Server,
 			Channel:         m.Channel,
@@ -132,6 +223,21 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 			Utility:         m.Utility,
 			Epoch:           eb.epoch,
 		})
+	}
+}
+
+// schedule dispatches the epoch to the scheduler of its stamped quality
+// tier. The tier is decided at enqueue by the brownout controller; degraded
+// tiers exist only when brownout is enabled, which is also the only way a
+// non-full tier can be stamped.
+func (w *solveWorker) schedule(eb epochBatch, sc *scenario.Scenario) (solver.Result, error) {
+	switch eb.tier {
+	case tierTruncated:
+		return w.ttsaTruncated.Schedule(sc, eb.solveRNG)
+	case tierCheap:
+		return w.cheap.Schedule(sc, eb.solveRNG)
+	default:
+		return w.ttsa.Schedule(sc, eb.solveRNG)
 	}
 }
 

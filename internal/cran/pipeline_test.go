@@ -31,7 +31,10 @@ func submitWaveAsync(t testing.TB, srv *Server, reqs []OffloadRequest) []pending
 		if err := req.Validate(); err != nil {
 			t.Fatalf("request %d invalid: %v", i, err)
 		}
-		ps[i] = pending{req: req, reply: make(chan OffloadResponse, 1)}
+		ps[i] = pending{req: req, reply: make(chan OffloadResponse, 1), arrived: time.Now()}
+		if budget := srv.deadlineBudget(req); budget > 0 {
+			ps[i].deadline = ps[i].arrived.Add(budget)
+		}
 		srv.stats.requestEntered()
 		select {
 		case srv.submit <- ps[i]:

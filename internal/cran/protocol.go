@@ -35,6 +35,67 @@ const (
 // connection) when a request line exceeds the server's configured maximum.
 var ErrRequestTooLarge = errors.New("cran: request exceeds maximum line length")
 
+// ErrDeadlineExceeded is the typed failure of a request whose epoch
+// deadline had already passed when a solver worker dequeued its epoch: the
+// coordinator answers it instead of burning a worker on a solve whose
+// result could no longer arrive in time.
+var ErrDeadlineExceeded = errors.New("cran: epoch deadline exceeded before solve")
+
+// ErrAdmissionRejected is the typed failure of a request refused at
+// admission because the coordinator's estimated queue wait (EWMA of recent
+// epoch solve latency × queue depth) already exceeded the request's
+// deadline — answering immediately lets the device run locally while the
+// decision is still useful.
+var ErrAdmissionRejected = errors.New("cran: admission rejected, estimated queue wait exceeds deadline")
+
+// Wire error codes carried in OffloadResponse.Code. Codes classify a
+// non-empty Error so clients can react in a typed way without parsing
+// message text; CodeQueueFull, CodeAdmission, and CodeExpired are
+// *backpressure* codes — the coordinator is alive but overloaded — which
+// the resilient client retries with backoff and never counts against its
+// circuit breaker.
+const (
+	// CodeQueueFull: the epoch was flushed while the solve queue was at
+	// capacity (ErrQueueFull).
+	CodeQueueFull = "queue_full"
+	// CodeAdmission: estimated queue wait exceeded the request's deadline
+	// at admission (ErrAdmissionRejected).
+	CodeAdmission = "admission"
+	// CodeExpired: the request's deadline passed while its epoch waited in
+	// the solve queue (ErrDeadlineExceeded).
+	CodeExpired = "deadline_expired"
+	// CodeShutdown: the coordinator is shutting down.
+	CodeShutdown = "shutdown"
+	// CodeInternal: the epoch failed inside the scheduling path.
+	CodeInternal = "internal"
+)
+
+// IsBackpressureCode reports whether a wire error code signals transient
+// overload rather than rejection or failure.
+func IsBackpressureCode(code string) bool {
+	switch code {
+	case CodeQueueFull, CodeAdmission, CodeExpired:
+		return true
+	}
+	return false
+}
+
+// Quality tiers carried in OffloadResponse.Tier. The brownout controller
+// trades solution quality for on-time answers: under queue pressure epochs
+// are solved by progressively cheaper schedulers instead of being shed.
+const (
+	// TierFull: the configured full-budget TTSA solve. Full-tier responses
+	// omit the wire field, keeping the protocol byte-identical to
+	// pre-brownout coordinators when brownout never engages.
+	TierFull = "full"
+	// TierTruncated: a truncated anneal — TTSA under a reduced evaluation
+	// budget.
+	TierTruncated = "truncated"
+	// TierCheap: the anneal-free budgeted solver (hJTORA for small epochs,
+	// Greedy beyond).
+	TierCheap = "cheap"
+)
+
 // OffloadRequest is a client's submission of one task for scheduling.
 type OffloadRequest struct {
 	// Version must equal ProtocolVersion.
@@ -56,6 +117,14 @@ type OffloadRequest struct {
 	BetaTime   float64 `json:"betaTime,omitempty"`
 	BetaEnergy float64 `json:"betaEnergy,omitempty"`
 	Lambda     float64 `json:"lambda,omitempty"`
+	// DeadlineMs is the epoch deadline budget in milliseconds, measured
+	// from the request's arrival at the coordinator: a decision that would
+	// arrive later than this is worthless to the device, so the
+	// coordinator may refuse admission (CodeAdmission) or expire the
+	// request at dequeue (CodeExpired) instead of solving late. Zero takes
+	// the coordinator's configured default; with no default either, the
+	// request never expires (the historical behaviour).
+	DeadlineMs float64 `json:"deadlineMs,omitempty"`
 }
 
 // Validate checks the request's domain (defaults are applied before this
@@ -75,6 +144,9 @@ func (r OffloadRequest) Validate() error {
 	if r.UserID == "" {
 		return errors.New("cran: empty user id")
 	}
+	if r.DeadlineMs < 0 || r.DeadlineMs != r.DeadlineMs {
+		return fmt.Errorf("cran: deadline must be a non-negative duration, got %gms", r.DeadlineMs)
+	}
 	return r.Task.Validate()
 }
 
@@ -83,8 +155,17 @@ type OffloadResponse struct {
 	Version int    `json:"version"`
 	UserID  string `json:"userId"`
 	// Error is non-empty when the request was rejected; all other fields
-	// are then meaningless.
+	// except Code are then meaningless.
 	Error string `json:"error,omitempty"`
+	// Code classifies a non-empty Error (CodeQueueFull, CodeAdmission,
+	// CodeExpired, CodeShutdown, CodeInternal); empty for rejections that
+	// predate the typed codes (malformed or invalid requests) and for
+	// successful decisions.
+	Code string `json:"code,omitempty"`
+	// Tier is the quality tier that produced the decision: TierTruncated
+	// or TierCheap when the brownout controller degraded the epoch, empty
+	// for full-quality solves (and for errors).
+	Tier string `json:"tier,omitempty"`
 	// Offload reports the decision; when false the user should execute
 	// locally and the grant fields are zero.
 	Offload bool `json:"offload"`
@@ -107,6 +188,26 @@ type OffloadResponse struct {
 	// Health carries the coordinator's health payload for TypeHealth
 	// requests; nil for scheduling responses.
 	Health *Health `json:"health,omitempty"`
+}
+
+// Err converts a response's wire error into a typed Go error: nil when the
+// response carries a decision, an error wrapping the matching sentinel
+// (ErrQueueFull, ErrAdmissionRejected, ErrDeadlineExceeded) when the code
+// names one, and a plain rejection error otherwise. errors.Is against the
+// sentinels therefore works across the wire.
+func (r OffloadResponse) Err() error {
+	if r.Error == "" {
+		return nil
+	}
+	switch r.Code {
+	case CodeQueueFull:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrQueueFull)
+	case CodeAdmission:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrAdmissionRejected)
+	case CodeExpired:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("cran: coordinator rejected request: %s", r.Error)
 }
 
 // Health is the coordinator's answer to a TypeHealth request.

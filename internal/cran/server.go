@@ -10,7 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tsajs/tsajs/internal/baseline"
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/obs"
 	"github.com/tsajs/tsajs/internal/scenario"
@@ -62,6 +64,21 @@ type ServerConfig struct {
 	// immediately with ErrQueueFull (fail-fast backpressure; queued work
 	// never grows without bound). Zero defaults to max(4, 2·Workers).
 	QueueDepth int
+	// DefaultDeadline is the epoch deadline applied to requests that omit
+	// DeadlineMs: a decision older than this (measured from arrival) is
+	// assumed worthless to the device, so the coordinator refuses admission
+	// or expires the request at dequeue instead of solving late. Zero means
+	// no default — requests without their own deadline never expire (the
+	// historical behaviour).
+	DefaultDeadline time.Duration
+	// Brownout configures graceful degradation under queue pressure: epochs
+	// are solved by progressively cheaper schedulers instead of being shed.
+	// Disabled by default.
+	Brownout BrownoutConfig
+	// SolverChaos, when non-nil, injects deterministic per-epoch solver
+	// delays into the workers — the slow-solver fault the chaos harness
+	// uses to manufacture overload.
+	SolverChaos *faults.SolverChaos
 	// Listener, when non-nil, serves on the provided listener instead of
 	// binding addr — the hook tests use to interpose chaos wrappers.
 	Listener net.Listener
@@ -127,6 +144,17 @@ func (c ServerConfig) Validate() error {
 	if cc.QueueDepth < 0 {
 		return fmt.Errorf("cran: queue depth must be non-negative, got %d", cc.QueueDepth)
 	}
+	if cc.DefaultDeadline < 0 {
+		return fmt.Errorf("cran: default deadline must be non-negative, got %s", cc.DefaultDeadline)
+	}
+	if err := cc.Brownout.Validate(); err != nil {
+		return err
+	}
+	if cc.SolverChaos != nil {
+		if err := cc.SolverChaos.Validate(); err != nil {
+			return err
+		}
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -137,6 +165,10 @@ func (c ServerConfig) Validate() error {
 type pending struct {
 	req   OffloadRequest
 	reply chan OffloadResponse
+	// arrived is when the request was admitted; deadline is when its answer
+	// stops being useful (zero: never expires).
+	arrived  time.Time
+	deadline time.Time
 }
 
 // Server is a running coordinator. Create with NewServer, stop with Close.
@@ -151,6 +183,14 @@ type Server struct {
 	submit  chan pending
 	solveQ  chan epochBatch
 	started time.Time
+
+	// Overload-resilience state: degraded-tier solvers, the deterministic
+	// brownout controller (owned by the batch collector), and the EWMA
+	// service-time estimator behind deadline admission.
+	ttsaTruncated *core.TTSA
+	cheap         *baseline.Cheap
+	brownout      *brownoutController
+	wait          waitEstimator
 
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -192,20 +232,38 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	// acceptance balance, threshold activations) into the same registry.
 	// Observation is passive and per-epoch, so scheduling results and
 	// latency are unchanged.
-	ttsa = ttsa.WithObserver(obs.NewSolverMetrics(reg))
+	solverObs := obs.NewSolverMetrics(reg)
+	ttsa = ttsa.WithObserver(solverObs)
+	// Degraded-tier solvers exist only when brownout is on, so a disabled
+	// coordinator carries zero extra state on the serving path.
+	bo := cfg.Brownout.withDefaults(ttsaCfg.MaxEvaluations)
+	var ttsaTruncated *core.TTSA
+	var cheap *baseline.Cheap
+	if bo.Enabled {
+		truncCfg := ttsaCfg
+		truncCfg.MaxEvaluations = bo.TruncatedBudget
+		ttsaTruncated, err = core.New(truncCfg)
+		if err != nil {
+			return nil, err
+		}
+		ttsaTruncated = ttsaTruncated.WithObserver(solverObs)
+		cheap = &baseline.Cheap{HJTORAMaxUsers: bo.HJTORAMaxUsers}
+	}
 	s := &Server{
-		cfg:     cfg,
-		ttsa:    ttsa,
-		ln:      ln,
-		sites:   geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
-		rng:     simrand.New(cfg.Seed),
-		submit:  make(chan pending),
-		solveQ:  make(chan epochBatch, cfg.QueueDepth),
-		quit:    make(chan struct{}),
-		metrics: reg,
-		stats:   newStatsCollector(reg),
-		conns:   make(map[net.Conn]struct{}),
-		started: time.Now(),
+		cfg:           cfg,
+		ttsa:          ttsa,
+		ttsaTruncated: ttsaTruncated,
+		cheap:         cheap,
+		ln:            ln,
+		sites:         geom.HexLayout(cfg.Params.NumServers, cfg.Params.InterSiteKm),
+		rng:           simrand.New(cfg.Seed),
+		submit:        make(chan pending),
+		solveQ:        make(chan epochBatch, cfg.QueueDepth),
+		quit:          make(chan struct{}),
+		metrics:       reg,
+		stats:         newStatsCollector(reg),
+		conns:         make(map[net.Conn]struct{}),
+		started:       time.Now(),
 	}
 	// The MEC server descriptors are static for the server's lifetime:
 	// build the slice once here instead of once per epoch, and let every
@@ -214,6 +272,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	for i, pos := range s.sites {
 		s.servers[i] = scenario.Server{Pos: pos, FHz: cfg.Params.ServerFreqHz}
 	}
+	s.brownout = newBrownoutController(bo, cfg.QueueDepth)
 	s.stats.workers.Set(float64(cfg.Workers))
 	s.wg.Add(2 + cfg.Workers)
 	go s.acceptLoop()
@@ -365,7 +424,25 @@ func (s *Server) handle(line []byte) OffloadResponse {
 	if req.Type == TypeHealth {
 		return s.handleHealth(req)
 	}
-	p := pending{req: req, reply: make(chan OffloadResponse, 1)}
+	p := pending{req: req, reply: make(chan OffloadResponse, 1), arrived: time.Now()}
+	if budget := s.deadlineBudget(req); budget > 0 {
+		p.deadline = p.arrived.Add(budget)
+		// Admission control: when the estimated queue wait (EWMA epoch
+		// service time × epochs ahead) already exceeds the request's whole
+		// budget, answering now — while the device can still fall back to
+		// local execution — beats solving late. The estimate is advisory
+		// and lock-free; a request it admits can still expire at dequeue.
+		if est := s.wait.estimate(len(s.solveQ) + 1); est > budget {
+			s.stats.requestShed(CodeAdmission)
+			return OffloadResponse{
+				Version: ProtocolVersion,
+				UserID:  req.UserID,
+				Error: fmt.Sprintf("%s: estimated wait %s exceeds deadline %s",
+					ErrAdmissionRejected.Error(), est.Round(time.Millisecond), budget),
+				Code: CodeAdmission,
+			}
+		}
+	}
 	// Count the request before handing it to the batcher: once the send
 	// succeeds the epoch goroutine may schedule it (incrementing the
 	// decision counters) at any moment, and the Offloaded+Local ≤ Requests
@@ -375,14 +452,24 @@ func (s *Server) handle(line []byte) OffloadResponse {
 	case s.submit <- p:
 	case <-s.quit:
 		s.stats.requestRejected()
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
 	}
 	select {
 	case resp := <-p.reply:
 		return resp
 	case <-s.quit:
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
 	}
+}
+
+// deadlineBudget resolves a request's deadline budget: its own DeadlineMs
+// when set, the coordinator's DefaultDeadline otherwise; zero means the
+// request never expires.
+func (s *Server) deadlineBudget(req OffloadRequest) time.Duration {
+	if req.DeadlineMs > 0 {
+		return time.Duration(req.DeadlineMs * float64(time.Millisecond))
+	}
+	return s.cfg.DefaultDeadline
 }
 
 // handleHealth answers a TypeHealth probe with uptime and a counter
@@ -391,7 +478,7 @@ func (s *Server) handle(line []byte) OffloadResponse {
 func (s *Server) handleHealth(req OffloadRequest) OffloadResponse {
 	select {
 	case <-s.quit:
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down"}
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
 	default:
 	}
 	s.mu.Lock()
@@ -473,7 +560,7 @@ func (s *Server) batchLoop() {
 		case <-s.quit:
 			// Fail whatever is still collecting, then close the solve
 			// queue: the workers drain it, failing every queued batch.
-			s.failBatch(batch, "coordinator shutting down")
+			s.failBatch(batch, CodeShutdown, "coordinator shutting down")
 			close(s.solveQ)
 			return
 		}
@@ -486,9 +573,14 @@ func (s *Server) batchLoop() {
 // boundary rather than queueing unboundedly or stalling collection.
 func (s *Server) enqueueEpoch(batch []pending) {
 	s.epoch++
+	// The brownout tier is stamped here, in the collector goroutine, as a
+	// pure function of the queue-depth sequence seen at successive flushes:
+	// the same arrival trace always degrades the same epochs, regardless of
+	// worker count or solve timing.
 	eb := epochBatch{
 		epoch:     s.epoch,
 		batch:     batch,
+		tier:      s.brownout.observe(len(s.solveQ)),
 		solveRNG:  s.rng.Derive(s.epoch),
 		gainRNG:   s.rng.Derive(s.epoch ^ gainStreamLabel),
 		collected: time.Now(),
@@ -498,14 +590,15 @@ func (s *Server) enqueueEpoch(batch []pending) {
 		s.stats.queueDepth.Set(float64(len(s.solveQ)))
 	default:
 		s.stats.epochRejected()
-		s.failBatch(batch, ErrQueueFull.Error())
+		s.failBatch(batch, CodeQueueFull, ErrQueueFull.Error())
 	}
 }
 
-func (s *Server) failBatch(batch []pending, msg string) {
+// failBatch answers every request in the batch with the same typed error.
+func (s *Server) failBatch(batch []pending, code, msg string) {
 	for _, p := range batch {
-		s.stats.requestRejected()
-		reply(p, OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg})
+		s.stats.requestShed(code)
+		reply(p, OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg, Code: code})
 	}
 }
 
@@ -518,4 +611,3 @@ func reply(p pending, resp OffloadResponse) {
 	default:
 	}
 }
-

@@ -50,6 +50,26 @@ type Stats struct {
 	SolverWorkers int `json:"solverWorkers"`
 	// MeanEpochLatency is the average collect-to-answer epoch latency.
 	MeanEpochLatency time.Duration `json:"meanEpochLatency"`
+	// EpochsDegradedTruncated and EpochsDegradedCheap count epochs the
+	// brownout controller solved below full quality; EpochsExpired counts
+	// epochs dropped whole at dequeue because every request's deadline had
+	// already passed.
+	EpochsDegradedTruncated uint64 `json:"epochsDegradedTruncated"`
+	EpochsDegradedCheap     uint64 `json:"epochsDegradedCheap"`
+	EpochsExpired           uint64 `json:"epochsExpired"`
+	// Shed* break Rejected down by backpressure reason: epoch flushed into
+	// a full solve queue, refused at deadline admission, or expired in the
+	// queue.
+	ShedQueueFull uint64 `json:"shedQueueFull"`
+	ShedAdmission uint64 `json:"shedAdmission"`
+	ShedExpired   uint64 `json:"shedExpired"`
+	// FullSolvesExpired is the serving-path tripwire: full-quality solves
+	// that included an already-expired request. The dequeue filter makes
+	// this structurally zero; the chaos harness asserts it stays so.
+	FullSolvesExpired uint64 `json:"fullSolvesExpired"`
+	// QueueWaitEstimate is the admission controller's current estimated
+	// queue wait (EWMA epoch service time × queue depth), last sampled.
+	QueueWaitEstimate time.Duration `json:"queueWaitEstimate"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -82,6 +102,18 @@ type statsCollector struct {
 	inflight       *obs.Gauge
 	workers        *obs.Gauge
 	epochLatency   *obs.Histogram
+
+	// Overload-resilience metrics: brownout degradations by tier, epoch and
+	// request deadline expiry, shed reasons, the admission wait estimate,
+	// and the expired-full-solve tripwire.
+	degradedTruncated *obs.Counter
+	degradedCheap     *obs.Counter
+	epochsExpired     *obs.Counter
+	shedQueueFull     *obs.Counter
+	shedAdmission     *obs.Counter
+	shedExpired       *obs.Counter
+	fullExpired       *obs.Counter
+	queueWaitEst      *obs.Gauge
 }
 
 func newStatsCollector(reg *obs.Registry) *statsCollector {
@@ -124,12 +156,59 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 			"Configured solver worker count."),
 		epochLatency: reg.Histogram("tsajs_coordinator_epoch_latency_seconds",
 			"Collect-to-answer latency per epoch (queue wait + solve + evaluation).", obs.DefaultLatencyEdges),
+		degradedTruncated: reg.Counter("tsajs_coordinator_epochs_degraded_total",
+			"Epochs the brownout controller solved below full quality, by tier.",
+			obs.Label{Key: "tier", Value: TierTruncated}),
+		degradedCheap: reg.Counter("tsajs_coordinator_epochs_degraded_total",
+			"Epochs the brownout controller solved below full quality, by tier.",
+			obs.Label{Key: "tier", Value: TierCheap}),
+		epochsExpired: reg.Counter("tsajs_coordinator_epochs_expired_total",
+			"Epochs dropped whole at dequeue: every request's deadline had passed."),
+		shedQueueFull: reg.Counter("tsajs_coordinator_shed_total",
+			"Requests shed by backpressure, by reason.",
+			obs.Label{Key: "reason", Value: CodeQueueFull}),
+		shedAdmission: reg.Counter("tsajs_coordinator_shed_total",
+			"Requests shed by backpressure, by reason.",
+			obs.Label{Key: "reason", Value: CodeAdmission}),
+		shedExpired: reg.Counter("tsajs_coordinator_shed_total",
+			"Requests shed by backpressure, by reason.",
+			obs.Label{Key: "reason", Value: CodeExpired}),
+		fullExpired: reg.Counter("tsajs_coordinator_full_solves_expired_total",
+			"Full-quality solves that included an already-expired request (serving-path tripwire; stays zero)."),
+		queueWaitEst: reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
+			"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth)."),
 	}
 }
 
-func (c *statsCollector) requestEntered()  { c.requests.Inc() }
-func (c *statsCollector) requestRejected() { c.rejected.Inc() }
-func (c *statsCollector) epochRejected()   { c.epochsRejected.Inc() }
+func (c *statsCollector) requestEntered()   { c.requests.Inc() }
+func (c *statsCollector) requestRejected()  { c.rejected.Inc() }
+func (c *statsCollector) epochRejected()    { c.epochsRejected.Inc() }
+func (c *statsCollector) epochExpired()     { c.epochsExpired.Inc() }
+func (c *statsCollector) fullSolveExpired() { c.fullExpired.Inc() }
+
+// requestShed counts one rejected request, attributing backpressure codes
+// to their shed-reason counter (other codes only count in rejected).
+func (c *statsCollector) requestShed(code string) {
+	c.rejected.Inc()
+	switch code {
+	case CodeQueueFull:
+		c.shedQueueFull.Inc()
+	case CodeAdmission:
+		c.shedAdmission.Inc()
+	case CodeExpired:
+		c.shedExpired.Inc()
+	}
+}
+
+// epochDegraded counts a below-full-quality epoch under its tier.
+func (c *statsCollector) epochDegraded(t epochTier) {
+	switch t {
+	case tierTruncated:
+		c.degradedTruncated.Inc()
+	case tierCheap:
+		c.degradedCheap.Inc()
+	}
+}
 func (c *statsCollector) healthServed()    { c.healthChecks.Inc() }
 func (c *statsCollector) panicRecovered()  { c.panics.Inc() }
 func (c *statsCollector) oversizeRequest() { c.oversize.Inc() }
@@ -180,6 +259,15 @@ func (c *statsCollector) snapshot() Stats {
 	if n := lat.Count(); n > 0 {
 		s.MeanEpochLatency = time.Duration(lat.Sum / float64(n) * float64(time.Second))
 	}
+
+	s.EpochsDegradedTruncated = c.degradedTruncated.Value()
+	s.EpochsDegradedCheap = c.degradedCheap.Value()
+	s.EpochsExpired = c.epochsExpired.Value()
+	s.ShedQueueFull = c.shedQueueFull.Value()
+	s.ShedAdmission = c.shedAdmission.Value()
+	s.ShedExpired = c.shedExpired.Value()
+	s.FullSolvesExpired = c.fullExpired.Value()
+	s.QueueWaitEstimate = time.Duration(c.queueWaitEst.Value() * float64(time.Second))
 	return s
 }
 

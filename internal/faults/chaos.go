@@ -23,10 +23,17 @@ type ChaosConfig struct {
 	// ResetProb closes the connection and fails the operation with
 	// ErrInjectedReset. Applies to both reads and writes.
 	ResetProb float64
-	// DelayProb sleeps for Delay before the operation proceeds.
+	// DelayProb sleeps for Delay (plus jitter, see Jitter) before the
+	// operation proceeds.
 	DelayProb float64
 	// Delay is the injected latency (default 5ms when DelayProb > 0).
 	Delay time.Duration
+	// Jitter widens an injected delay to Delay + uniform[0, Jitter). Zero
+	// keeps the historical fixed-delay behaviour (and, deliberately, the
+	// historical fault stream: the jitter draw only happens when Jitter is
+	// set and the delay fired, so existing seeded tests see identical
+	// rolls).
+	Jitter time.Duration
 	// DropWriteProb discards the write entirely while reporting success —
 	// the peer never sees the bytes.
 	DropWriteProb float64
@@ -63,17 +70,23 @@ func WrapConn(conn net.Conn, cfg ChaosConfig) net.Conn {
 
 // roll draws the fault decisions for one operation under the lock, then
 // releases it so an injected delay does not serialize the peer direction.
-func (c *chaosConn) roll(write bool) (reset, delay, drop, trunc bool) {
+// delay is the injected latency for this operation (zero when none fired).
+func (c *chaosConn) roll(write bool) (reset bool, delay time.Duration, drop, trunc bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
-		return true, false, false, false
+		return true, 0, false, false
 	}
 	if c.cfg.ResetProb > 0 && c.rng.Float64() < c.cfg.ResetProb {
 		c.broken = true
-		return true, false, false, false
+		return true, 0, false, false
 	}
-	delay = c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb
+	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
+		delay = c.cfg.Delay
+		if c.cfg.Jitter > 0 {
+			delay += time.Duration(c.rng.Float64() * float64(c.cfg.Jitter))
+		}
+	}
 	if write {
 		drop = c.cfg.DropWriteProb > 0 && c.rng.Float64() < c.cfg.DropWriteProb
 		trunc = c.cfg.TruncateWriteProb > 0 && c.rng.Float64() < c.cfg.TruncateWriteProb
@@ -87,8 +100,8 @@ func (c *chaosConn) Read(b []byte) (int, error) {
 		_ = c.Conn.Close()
 		return 0, ErrInjectedReset
 	}
-	if delay {
-		time.Sleep(c.cfg.Delay)
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	return c.Conn.Read(b)
 }
@@ -99,8 +112,8 @@ func (c *chaosConn) Write(b []byte) (int, error) {
 		_ = c.Conn.Close()
 		return 0, ErrInjectedReset
 	}
-	if delay {
-		time.Sleep(c.cfg.Delay)
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	if drop {
 		return len(b), nil

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+// SolverChaos injects artificial latency into the coordinator's epoch
+// solves — the "slow solver" failure mode (GC pause, noisy neighbour,
+// thermal throttling) that overload-resilience machinery has to survive.
+//
+// The injected delay for an epoch is a pure function of (Seed, epoch): the
+// magnitude is drawn from an RNG stream derived per epoch number, so the
+// same epoch sees the same delay regardless of which solver worker picks it
+// up or how many workers exist. An optional wall-clock window (Start,
+// Window) gates the injection so a harness can fault only part of a run and
+// then assert recovery.
+type SolverChaos struct {
+	// Seed drives the per-epoch delay rolls; zero defaults to 1.
+	Seed uint64
+	// DelayProb is the per-epoch probability of a slow solve.
+	DelayProb float64
+	// Delay is the injected base latency (default 10ms when DelayProb > 0).
+	Delay time.Duration
+	// Jitter widens a fired delay to Delay + uniform[0, Jitter).
+	Jitter time.Duration
+	// Start and Window bound the injection in wall-clock time: a solve for
+	// an epoch collected outside [Start, Start+Window) is not delayed. A
+	// zero Start means active immediately; a zero Window means no end.
+	Start  time.Time
+	Window time.Duration
+}
+
+func (c SolverChaos) withDefaults() SolverChaos {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delay == 0 {
+		c.Delay = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Validate checks the configuration domain.
+func (c SolverChaos) Validate() error {
+	if c.DelayProb < 0 || c.DelayProb > 1 {
+		return fmt.Errorf("faults: solver delay probability must be in [0,1], got %g", c.DelayProb)
+	}
+	if c.Delay < 0 || c.Jitter < 0 || c.Window < 0 {
+		return fmt.Errorf("faults: solver delay durations must be non-negative, got delay=%s jitter=%s window=%s",
+			c.Delay, c.Jitter, c.Window)
+	}
+	return nil
+}
+
+// DelayFor returns the latency to inject into the solve of the given epoch,
+// collected at the given time. The magnitude depends only on (Seed, epoch);
+// `at` is consulted only for window gating, so two runs with the same epoch
+// sequence see bit-identical delay decisions whenever both are inside (or
+// both outside) the window.
+func (c *SolverChaos) DelayFor(epoch uint64, at time.Time) time.Duration {
+	if c == nil || c.DelayProb <= 0 {
+		return 0
+	}
+	cc := c.withDefaults()
+	if !cc.Start.IsZero() && at.Before(cc.Start) {
+		return 0
+	}
+	if cc.Window > 0 {
+		start := cc.Start
+		if start.IsZero() {
+			// A window without a start cannot be anchored; treat it as
+			// starting at the epoch's own timestamp, i.e. always active.
+			start = at
+		}
+		if !at.Before(start.Add(cc.Window)) {
+			return 0
+		}
+	}
+	rng := simrand.New(cc.Seed).Derive(epoch)
+	if rng.Float64() >= cc.DelayProb {
+		return 0
+	}
+	d := cc.Delay
+	if cc.Jitter > 0 {
+		d += time.Duration(rng.Float64() * float64(cc.Jitter))
+	}
+	return d
+}

@@ -57,6 +57,31 @@ and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
 	for _, v := range []float64{0.002, 0.004, 0.05} {
 		lat.Observe(v)
 	}
+
+	// The overload-resilience family (as registered by internal/cran): the
+	// brownout degradation counters by tier, the shed counters by reason,
+	// the deadline-expiry counters, and the admission wait-estimate gauge.
+	reg.Counter("tsajs_coordinator_epochs_degraded_total",
+		"Epochs the brownout controller solved below full quality, by tier.",
+		Label{Key: "tier", Value: "truncated"}).Add(5)
+	reg.Counter("tsajs_coordinator_epochs_degraded_total",
+		"Epochs the brownout controller solved below full quality, by tier.",
+		Label{Key: "tier", Value: "cheap"}).Add(2)
+	reg.Counter("tsajs_coordinator_epochs_expired_total",
+		"Epochs dropped whole at dequeue: every request's deadline had passed.").Inc()
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "queue_full"}).Add(11)
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "admission"}).Add(6)
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "deadline_expired"}).Add(4)
+	reg.Counter("tsajs_coordinator_full_solves_expired_total",
+		"Full-quality solves that included an already-expired request (serving-path tripwire; stays zero).")
+	reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
+		"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth).").Set(0.0625)
 	return reg
 }
 
@@ -100,6 +125,27 @@ func TestGoldenJSON(t *testing.T) {
 // comes from sorting, not registration history.
 func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
 	reg := NewRegistry()
+	reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
+		"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth).").Set(0.0625)
+	reg.Counter("tsajs_coordinator_full_solves_expired_total",
+		"Full-quality solves that included an already-expired request (serving-path tripwire; stays zero).")
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "deadline_expired"}).Add(4)
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "admission"}).Add(6)
+	reg.Counter("tsajs_coordinator_shed_total",
+		"Requests shed by backpressure, by reason.",
+		Label{Key: "reason", Value: "queue_full"}).Add(11)
+	reg.Counter("tsajs_coordinator_epochs_expired_total",
+		"Epochs dropped whole at dequeue: every request's deadline had passed.").Inc()
+	reg.Counter("tsajs_coordinator_epochs_degraded_total",
+		"Epochs the brownout controller solved below full quality, by tier.",
+		Label{Key: "tier", Value: "cheap"}).Add(2)
+	reg.Counter("tsajs_coordinator_epochs_degraded_total",
+		"Epochs the brownout controller solved below full quality, by tier.",
+		Label{Key: "tier", Value: "truncated"}).Add(5)
 	lat := reg.Histogram("tsajs_coordinator_epoch_latency_seconds",
 		"Collect-to-answer latency per epoch (queue wait + solve + evaluation).",
 		DefaultLatencyEdges)

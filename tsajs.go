@@ -7,6 +7,7 @@ import (
 	"github.com/tsajs/tsajs/internal/analysis"
 	"github.com/tsajs/tsajs/internal/assign"
 	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/chaos"
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/cran"
 	"github.com/tsajs/tsajs/internal/dynamic"
@@ -120,6 +121,22 @@ type (
 	// ChaosConfig parametrizes fault-injecting connection wrappers for
 	// protocol-level resilience testing.
 	ChaosConfig = faults.ChaosConfig
+	// SolverChaos injects deterministic per-epoch latency into the
+	// coordinator's solve path (the slow-solver failure mode); wire into
+	// CoordinatorConfig.SolverChaos, optionally windowed in wall-clock
+	// time.
+	SolverChaos = faults.SolverChaos
+	// BrownoutConfig tunes the coordinator's graceful degradation: under
+	// queue pressure epochs are solved with a truncated anneal or the
+	// cheap deterministic solver instead of the full TTSA budget, with
+	// hysteresis and a dwell so the tier never flaps.
+	BrownoutConfig = cran.BrownoutConfig
+	// OverloadConfig parametrizes the end-to-end chaos harness
+	// (RunOverloadHarness).
+	OverloadConfig = chaos.Config
+	// OverloadReport is the chaos harness outcome: outcome counts, phase
+	// goodputs, and any invariant violations.
+	OverloadReport = chaos.Report
 	// MetricsRegistry is the observability layer's metric registry:
 	// lock-free counters, gauges, and fixed-bucket histograms, rendered in
 	// Prometheus text exposition format and JSON.
@@ -257,6 +274,31 @@ func MetricsMux(r *MetricsRegistry, stats func() any) *http.ServeMux {
 // capacity: the batch is shed immediately (fail-fast backpressure) instead of
 // buffering unboundedly behind slow solves.
 var ErrCoordinatorQueueFull = cran.ErrQueueFull
+
+// ErrDeadlineExceeded is returned for a request whose epoch deadline passed
+// while it waited in the solve queue: the coordinator drops it at dequeue
+// instead of spending solver time on a stale answer.
+var ErrDeadlineExceeded = cran.ErrDeadlineExceeded
+
+// ErrAdmissionRejected is returned when the coordinator's admission
+// controller predicts the request cannot be answered within its deadline
+// (estimated queue wait exceeds the deadline budget) and sheds it at the
+// door.
+var ErrAdmissionRejected = cran.ErrAdmissionRejected
+
+// IsBackpressureCode reports whether a response code marks a load-shedding
+// rejection (queue full, admission, deadline expiry) — the coordinator
+// alive but overloaded — as opposed to a fault.
+func IsBackpressureCode(code string) bool { return cran.IsBackpressureCode(code) }
+
+// RunOverloadHarness executes the end-to-end chaos harness: it measures a
+// coordinator's sustainable closed-loop rate, then drives a fault-injected
+// coordinator at a multiple of that rate (default 2×) with a slow solver
+// injected for part of the window, and verifies the overload-resilience
+// invariants — every request answered exactly once, no deadline-expired
+// full-quality solves, a goodput floor, and recovery after the fault
+// window. Violations are listed in the report; an empty list is a pass.
+func RunOverloadHarness(cfg OverloadConfig) (OverloadReport, error) { return chaos.Run(cfg) }
 
 // NewCoordinator starts a C-RAN scheduling coordinator listening on addr.
 // The coordinator pipelines its serving path: a collector goroutine batches
