@@ -29,6 +29,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzScenarioCodec$$' -fuzztime=10s ./internal/scenario
 	go test -run='^$$' -fuzz='^FuzzAssignmentUtility$$' -fuzztime=10s ./internal/objective
 	go test -run='^$$' -fuzz='^FuzzHandleRequest$$' -fuzztime=5s ./internal/cran
+	go test -run='^$$' -fuzz='^FuzzWireCodec$$' -fuzztime=10s ./internal/cran
 
 # Tier-1+ robustness check: vet, build, the full suite under the race
 # detector, and the fuzz smoke pass. CI and pre-merge runs should use
@@ -67,7 +68,7 @@ BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 # coordinator serving path (BenchmarkServe*); the BenchmarkFigure* experiment
 # reproductions are excluded (they are sweeps, not performance probes, and
 # take minutes each).
-PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental|Portfolio|Serve)
+PERF_BENCH := ^Benchmark(SystemUtility|KKTAllocation|NeighborhoodMove|Solve|Incremental|Portfolio|Serve|Wire)
 
 .PHONY: bench
 bench:
@@ -84,7 +85,9 @@ bench:
 # utility, and the coordinator's per-epoch allocation count and utility
 # (BenchmarkServeEpoch solves the same epoch every iteration, so both are
 # deterministic; BenchmarkServePipeline's epochs/s is timing and stays out).
-QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch|BenchmarkServeEpochDegraded)$$
+# BenchmarkWireCodec pins the wirev2 codec's allocs/op — the binary
+# encode+decode cycle must stay at least 2x leaner than the JSON line codec.
+QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch|BenchmarkServeEpochDegraded|BenchmarkWireCodec)$$
 
 .PHONY: bench-check
 bench-check:

@@ -7,8 +7,10 @@
 //	tsajs-coordinator -listen 127.0.0.1:7600 -servers 9 -channels 3
 //	tsajs-coordinator -metrics-addr 127.0.0.1:7601   # + HTTP introspection
 //
-// Clients speak newline-delimited JSON (see internal/cran); the quickest
-// way to exercise a running coordinator is examples/coordinated. With
+// Clients speak either newline-delimited JSON or the wirev2 framed binary
+// protocol (see internal/cran); the two are negotiated per connection on
+// its first bytes, so one listener serves both. The quickest way to
+// exercise a running coordinator is examples/coordinated. With
 // -metrics-addr set, the coordinator additionally serves /metrics
 // (Prometheus text), /stats (the Stats snapshot as JSON), /healthz, and
 // the net/http/pprof profiling handlers under /debug/pprof/.

@@ -7,6 +7,7 @@
 //
 //	tsajs-loadgen -conns 16 -duration 10s               # self-hosted coordinator
 //	tsajs-loadgen -addr 127.0.0.1:7600 -rate 200        # externally running one
+//	tsajs-loadgen -protocol binary -conns 4             # wirev2 multiplexed frames
 //	tsajs-loadgen -workers 4 -queue-depth 8 -json       # pipeline knobs + JSON report
 //	tsajs-loadgen -deadline 150 -brownout -chaos 40ms   # overload-resilience drill
 //
@@ -44,6 +45,7 @@ func main() {
 // report is the machine-readable run summary (-json).
 type report struct {
 	Conns      int     `json:"conns"`
+	Protocol   string  `json:"protocol"`
 	DurationS  float64 `json:"durationS"`
 	OfferedRPS float64 `json:"offeredRPS,omitempty"`
 
@@ -60,6 +62,12 @@ type report struct {
 	P95Ms          float64 `json:"p95Ms"`
 	P99Ms          float64 `json:"p99Ms"`
 
+	// Wire-cost view from the coordinator's byte and frame counters over
+	// the measurement window (health-probe traffic included).
+	BytesPerRequest float64 `json:"bytesPerRequest"`
+	FramesPerSec    float64 `json:"framesPerSec"`
+	WireBytes       uint64  `json:"wireBytes"`
+
 	MeanBatch      float64 `json:"meanBatch"`
 	QueueDepth     int     `json:"queueDepth"`
 	MaxQueueDepth  int     `json:"maxQueueDepth"`
@@ -75,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		addr     = fs.String("addr", "", "coordinator address (empty: self-host one in process)")
 		conns    = fs.Int("conns", 8, "concurrent client connections")
+		protocol = fs.String("protocol", "json", "client wire protocol: json (line-delimited envelopes) or binary (wirev2 multiplexed frames)")
 		duration = fs.Duration("duration", 5*time.Second, "measurement window")
 		rate     = fs.Float64("rate", 0, "offered load, requests/sec across all conns (0 = closed loop)")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
@@ -100,6 +109,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *duration <= 0 {
 		return fmt.Errorf("duration must be positive, got %s", *duration)
+	}
+	if *protocol != tsajs.CoordinatorProtocolJSON && *protocol != tsajs.CoordinatorProtocolBinary {
+		return fmt.Errorf("protocol must be %q or %q, got %q",
+			tsajs.CoordinatorProtocolJSON, tsajs.CoordinatorProtocolBinary, *protocol)
 	}
 
 	target := *addr
@@ -129,11 +142,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer srv.Close()
 		target = srv.Addr().String()
-		fmt.Fprintf(stdout, "self-hosted coordinator on %s (S=%d, N=%d, workers=%d)\n",
+		// With -json the banner moves to stderr so stdout stays a single
+		// machine-readable document fit for redirection.
+		bannerOut := stdout
+		if *jsonOut {
+			bannerOut = os.Stderr
+		}
+		fmt.Fprintf(bannerOut, "self-hosted coordinator on %s (S=%d, N=%d, workers=%d)\n",
 			target, *servers, *channels, srv.Stats().SolverWorkers)
 	}
 
-	rep, err := drive(target, *conns, *duration, *rate)
+	rep, err := drive(target, *protocol, *conns, *duration, *rate)
 	if err != nil {
 		return err
 	}
@@ -153,14 +172,20 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "throughput: %.1f req/s, %.2f epochs/s (mean batch %.1f)\n",
 		rep.RequestsPerSec, rep.EpochsPerSec, rep.MeanBatch)
 	fmt.Fprintf(stdout, "latency: p50 %.1fms, p95 %.1fms, p99 %.1fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Fprintf(stdout, "wire: %s protocol, %.1f bytes/request, %.1f frames/s\n",
+		rep.Protocol, rep.BytesPerRequest, rep.FramesPerSec)
 	fmt.Fprintf(stdout, "pipeline: %d solver workers, queue depth %d (max seen %d), %d epochs shed, %d degraded, %d expired\n",
 		rep.SolverWorkers, rep.QueueDepth, rep.MaxQueueDepth, rep.EpochsRejected, rep.EpochsDegraded, rep.EpochsExpired)
 	return nil
 }
 
 // drive runs the measurement window against the coordinator at target.
-func drive(target string, conns int, duration time.Duration, rate float64) (report, error) {
-	probe, err := tsajs.DialCoordinator(target)
+func drive(target, protocol string, conns int, duration time.Duration, rate float64) (report, error) {
+	dial := tsajs.DialCoordinator
+	if protocol == tsajs.CoordinatorProtocolBinary {
+		dial = tsajs.DialCoordinatorBinary
+	}
+	probe, err := dial(target)
 	if err != nil {
 		return report{}, fmt.Errorf("probe dial: %w", err)
 	}
@@ -195,7 +220,7 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cli, err := tsajs.DialCoordinator(target)
+			cli, err := dial(target)
 			if err != nil {
 				stats[c].transport++
 				return
@@ -271,7 +296,7 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 	}
 
 	var all []time.Duration
-	rep := report{Conns: conns, DurationS: elapsed, OfferedRPS: rate, MaxQueueDepth: maxQueue}
+	rep := report{Conns: conns, Protocol: protocol, DurationS: elapsed, OfferedRPS: rate, MaxQueueDepth: maxQueue}
 	for _, cs := range stats {
 		all = append(all, cs.latencies...)
 		rep.Scheduled += cs.scheduled
@@ -287,6 +312,18 @@ func drive(target string, conns int, duration time.Duration, rate float64) (repo
 	rep.P50Ms = quantileMs(all, 0.50)
 	rep.P95Ms = quantileMs(all, 0.95)
 	rep.P99Ms = quantileMs(all, 0.99)
+	// Wire cost from the coordinator's own byte and frame counters: the
+	// delta over the window divided by the requests this run answered. The
+	// health-probe sampler's traffic rides the same counters, so the
+	// per-request figure is a slight overestimate — identically for both
+	// protocols, which is what the JSON-vs-binary comparison needs.
+	rep.WireBytes = (after.Stats.BytesRead - before.Stats.BytesRead) +
+		(after.Stats.BytesWritten - before.Stats.BytesWritten)
+	if n := rep.Scheduled + rep.Rejected + rep.Expired; n > 0 {
+		rep.BytesPerRequest = float64(rep.WireBytes) / float64(n)
+	}
+	rep.FramesPerSec = float64((after.Stats.FramesJSON-before.Stats.FramesJSON)+
+		(after.Stats.FramesBinary-before.Stats.FramesBinary)) / elapsed
 	rep.MeanBatch = after.Stats.MeanBatch
 	rep.QueueDepth = after.Stats.QueueDepth
 	rep.EpochsRejected = after.Stats.EpochsRejected

@@ -55,6 +55,9 @@ func BenchmarkServeEpoch(b *testing.B) {
 			if resp.Error != "" {
 				b.Fatalf("epoch failed: %s", resp.Error)
 			}
+			// Re-arm the reused slot: reply() answers each pending at most
+			// once, so the next iteration needs the flag cleared.
+			ps[j].answered = 0
 			utility += resp.Utility
 		}
 	}
@@ -114,6 +117,7 @@ func BenchmarkServeEpochDegraded(b *testing.B) {
 					if resp.Tier != tier.wire() {
 						b.Fatalf("response tier = %q, want %q", resp.Tier, tier.wire())
 					}
+					ps[j].answered = 0
 					utility += resp.Utility
 				}
 			}

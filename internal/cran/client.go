@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tsajs/tsajs/internal/obs"
@@ -25,12 +26,29 @@ var ErrClientClosed = errors.New("cran: client closed")
 // doomed dials.
 var ErrCircuitOpen = errors.New("cran: circuit breaker open, coordinator presumed down")
 
+// Wire protocols a Client can speak, for ResilienceConfig.Protocol.
+const (
+	// ProtoJSON is the historical newline-delimited JSON protocol: one
+	// request per round-trip, responses in order.
+	ProtoJSON = "json"
+	// ProtoBinary is the wirev2 framed binary protocol: requests are
+	// multiplexed over one connection by 64-bit request ID, so concurrent
+	// Offload calls share the connection and responses complete out of
+	// order (see wirev2.go and DESIGN.md §13).
+	ProtoBinary = "binary"
+)
+
 // ResilienceConfig tunes the client-side fault tolerance: retries with
 // exponential backoff and jitter, automatic reconnection, a circuit
 // breaker, and graceful degradation to a local-execution decision when the
 // coordinator cannot answer. The zero value enables conservative retrying
 // without degradation; see the field defaults.
 type ResilienceConfig struct {
+	// Protocol selects the wire protocol: ProtoJSON (the default when
+	// empty) or ProtoBinary. Retry, backoff, breaker, and degradation
+	// semantics are identical across protocols; ProtoBinary additionally
+	// multiplexes concurrent calls over one connection.
+	Protocol string
 	// MaxAttempts bounds transport attempts per Offload call (each
 	// attempt redials if needed). Zero defaults to 3.
 	MaxAttempts int
@@ -118,13 +136,22 @@ func (rc ResilienceConfig) Validate() error {
 	case rc.DialTimeout < 0:
 		return fmt.Errorf("cran: dial timeout must be non-negative, got %s", rc.DialTimeout)
 	}
+	switch rc.Protocol {
+	case "", ProtoJSON, ProtoBinary:
+	default:
+		return fmt.Errorf("cran: unknown protocol %q (want %q or %q)", rc.Protocol, ProtoJSON, ProtoBinary)
+	}
 	return nil
 }
 
-// Client is a mobile-device-side connection to a coordinator. A Client
-// serializes its own requests (one in flight per connection, matching the
-// server's in-order response guarantee); use one Client per simulated
-// device, concurrently from separate goroutines.
+// Client is a mobile-device-side connection to a coordinator.
+//
+// With the default JSON protocol, a Client serializes its own requests
+// (one in flight per connection, matching the server's in-order response
+// guarantee). With ProtoBinary, concurrent Offload calls multiplex over
+// one connection — each call gets its own request ID and a demultiplexing
+// goroutine routes responses back by ID — so one Client can hold many
+// requests in flight. Either way a Client is safe for concurrent use.
 //
 // The client reconnects automatically: a transport failure drops the
 // connection and the next attempt redials, so a coordinator restart is
@@ -133,20 +160,27 @@ type Client struct {
 	addr string
 	rc   ResilienceConfig
 
-	mu     sync.Mutex // serializes exchanges; guards the fields below
+	mu     sync.Mutex // serializes JSON exchanges; guards the fields below
 	rd     *bufio.Reader
 	enc    *json.Encoder
 	jitter *simrand.Source
 	fails  int // consecutive transport failures (breaker input)
 	openAt time.Time
 
-	connMu sync.Mutex // guards conn against concurrent Close
+	connMu sync.Mutex // guards conn and mux against concurrent Close
 	conn   net.Conn
+	mux    *clientMux
+
+	muxDialMu sync.Mutex // serializes binary (re)dials
+	nextID    atomic.Uint64
 
 	closeOnce sync.Once
 	closedCh  chan struct{}
 	closeErr  error
 }
+
+// binary reports whether this client speaks the wirev2 binary protocol.
+func (c *Client) binary() bool { return c.rc.Protocol == ProtoBinary }
 
 // NewClient returns a client for the coordinator at addr without dialing.
 // The first Offload (or Health) call connects lazily, so constructing a
@@ -176,6 +210,28 @@ func DialResilient(addr string, rc ResilienceConfig) (*Client, error) {
 // Dial connects to a coordinator at addr.
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialBinary connects eagerly over the wirev2 binary protocol with Dial's
+// strict semantics: single attempts, no breaker, no degradation. Unlike a
+// JSON client, the returned client multiplexes concurrent Offload calls
+// over its one connection.
+func DialBinary(addr string) (*Client, error) {
+	c, err := NewClient(addr, ResilienceConfig{
+		MaxAttempts:      1,
+		BreakerThreshold: -1,
+		Protocol:         ProtoBinary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.rc.DialTimeout)
+	defer cancel()
+	if _, err := c.ensureMux(ctx); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // DialTimeout connects with a dial timeout. Unlike NewClient it dials
@@ -209,6 +265,10 @@ func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
 		c.connMu.Lock()
+		if c.mux != nil {
+			c.mux.close(ErrClientClosed)
+			c.mux = nil
+		}
 		if c.conn != nil {
 			c.closeErr = c.conn.Close()
 			c.conn = nil
@@ -241,6 +301,9 @@ func (c *Client) isClosed() bool {
 // with the device's Eq. 1 cost and Degraded=true, with a nil error.
 func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
 	req.Version = ProtocolVersion
+	if c.binary() {
+		return c.offloadMux(ctx, req)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -308,6 +371,9 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 // single attempt and never degrades: its whole point is to observe the
 // coordinator, so a transport failure is the answer.
 func (c *Client) Health(ctx context.Context) (Health, error) {
+	if c.binary() {
+		return c.healthMux(ctx)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.isClosed() {
@@ -329,14 +395,9 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return *resp.Health, nil
 }
 
-// ensureConn dials when no connection is live. Callers hold c.mu.
-func (c *Client) ensureConn(ctx context.Context) error {
-	c.connMu.Lock()
-	live := c.conn != nil
-	c.connMu.Unlock()
-	if live {
-		return nil
-	}
+// dialConn performs one transport dial with the configured dialer, bounded
+// by the dial timeout and the call context.
+func (c *Client) dialConn(ctx context.Context) (net.Conn, error) {
 	dial := c.rc.Dialer
 	if dial == nil {
 		dial = func(ctx context.Context, addr string) (net.Conn, error) {
@@ -348,7 +409,22 @@ func (c *Client) ensureConn(ctx context.Context) error {
 	defer cancel()
 	conn, err := dial(dctx, c.addr)
 	if err != nil {
-		return fmt.Errorf("cran: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("cran: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+// ensureConn dials when no connection is live. Callers hold c.mu.
+func (c *Client) ensureConn(ctx context.Context) error {
+	c.connMu.Lock()
+	live := c.conn != nil
+	c.connMu.Unlock()
+	if live {
+		return nil
+	}
+	conn, err := c.dialConn(ctx)
+	if err != nil {
+		return err
 	}
 	c.connMu.Lock()
 	if c.isClosed() {
@@ -446,12 +522,24 @@ func (c *Client) countMetric(fn func(*obs.ClientMetrics)) {
 // attempt, aborting early on context expiry or Close. It reports whether
 // the retry should proceed. Callers hold c.mu.
 func (c *Client) sleepBackoff(ctx context.Context, attempt int) bool {
+	return c.sleepDelay(ctx, c.backoffDelay(attempt))
+}
+
+// backoffDelay computes the jittered exponential delay before the given
+// retry attempt. Callers hold c.mu (the jitter source is not
+// concurrency-safe).
+func (c *Client) backoffDelay(attempt int) time.Duration {
 	d := c.rc.BackoffBase << (attempt - 1)
 	if d > c.rc.BackoffMax || d <= 0 {
 		d = c.rc.BackoffMax
 	}
 	// Full jitter over [d/2, d) decorrelates retry storms across devices.
-	d = d/2 + time.Duration(c.jitter.Float64()*float64(d/2))
+	return d/2 + time.Duration(c.jitter.Float64()*float64(d/2))
+}
+
+// sleepDelay waits d, aborting early on context expiry or Close, and
+// reports whether the caller should proceed.
+func (c *Client) sleepDelay(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}

@@ -141,18 +141,20 @@ func (s *Server) noteServiceTime(started time.Time) {
 // remainder, filtered in place.
 func (w *solveWorker) expireBatch(eb epochBatch) []pending {
 	live := eb.batch[:0]
-	for _, p := range eb.batch {
+	for i := range eb.batch {
+		p := &eb.batch[i]
 		if !p.deadline.IsZero() && eb.dequeued.After(p.deadline) {
-			w.srv.stats.requestShed(CodeExpired)
-			reply(p, OffloadResponse{
+			if w.srv.reply(p, OffloadResponse{
 				Version: ProtocolVersion,
 				UserID:  p.req.UserID,
 				Error:   ErrDeadlineExceeded.Error(),
 				Code:    CodeExpired,
-			})
+			}) {
+				w.srv.stats.requestShed(CodeExpired)
+			}
 			continue
 		}
-		live = append(live, p)
+		live = append(live, *p)
 	}
 	return live
 }
@@ -208,9 +210,10 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 	if eb.tier != tierFull {
 		tier = eb.tier.wire()
 	}
-	for i, p := range eb.batch {
+	for i := range eb.batch {
+		p := &eb.batch[i]
 		m := rep.Users[i]
-		reply(p, OffloadResponse{
+		s.reply(p, OffloadResponse{
 			Version:         ProtocolVersion,
 			UserID:          p.req.UserID,
 			Tier:            tier,
@@ -303,16 +306,19 @@ var respEncoders = sync.Pool{New: func() any {
 	return e
 }}
 
-// writeResponse encodes resp as one newline-terminated JSON line and writes
-// it to conn using a pooled buffer.
-func writeResponse(conn net.Conn, resp OffloadResponse) error {
+// writeJSON encodes resp as one newline-terminated JSON line and writes it
+// to conn using a pooled buffer, counting the write in the wire metrics.
+func (s *Server) writeJSON(conn net.Conn, resp OffloadResponse) error {
 	e := respEncoders.Get().(*respEncoder)
 	e.buf.Reset()
 	if err := e.enc.Encode(resp); err != nil {
 		respEncoders.Put(e)
 		return err
 	}
-	_, err := conn.Write(e.buf.Bytes())
+	n, err := conn.Write(e.buf.Bytes())
 	respEncoders.Put(e)
+	if err == nil {
+		s.stats.frameWritten(false, n)
+	}
 	return err
 }

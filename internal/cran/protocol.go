@@ -4,10 +4,14 @@
 // into scheduling epochs, solves each epoch with TSAJS, and returns each
 // user its offloading decision and resource grant.
 //
-// The wire protocol is newline-delimited JSON: each line carries one
-// envelope. The real system would learn channel state from PHY-layer
-// measurements; here the coordinator draws gains from the same calibrated
-// path-loss model the simulator uses (see DESIGN.md's substitution table).
+// Two wire protocols share every listener, negotiated on a connection's
+// first bytes: newline-delimited JSON envelopes (the historical format,
+// one request per round-trip), and the wirev2 binary framing (length-
+// prefixed frames multiplexing many in-flight requests per connection;
+// see wirev2.go and DESIGN.md §13). The real system would learn channel
+// state from PHY-layer measurements; here the coordinator draws gains
+// from the same calibrated path-loss model the simulator uses (see
+// DESIGN.md's substitution table).
 package cran
 
 import (
@@ -34,6 +38,12 @@ const (
 // ErrRequestTooLarge is reported (as the response Error and by closing the
 // connection) when a request line exceeds the server's configured maximum.
 var ErrRequestTooLarge = errors.New("cran: request exceeds maximum line length")
+
+// ErrUnsupportedVersion is the typed rejection of an envelope or handshake
+// carrying an unknown or future protocol version: the coordinator refuses
+// to best-effort decode a format it does not speak. It travels as
+// CodeUnsupportedVersion on the wire, so errors.Is works across it.
+var ErrUnsupportedVersion = errors.New("cran: unsupported protocol version")
 
 // ErrDeadlineExceeded is the typed failure of a request whose epoch
 // deadline had already passed when a solver worker dequeued its epoch: the
@@ -68,6 +78,13 @@ const (
 	CodeShutdown = "shutdown"
 	// CodeInternal: the epoch failed inside the scheduling path.
 	CodeInternal = "internal"
+	// CodeUnsupportedVersion: the envelope or binary handshake carried a
+	// protocol version the coordinator does not speak
+	// (ErrUnsupportedVersion).
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeTooLarge: the request line or binary frame exceeded the server's
+	// configured maximum (ErrRequestTooLarge / ErrFrameTooLarge).
+	CodeTooLarge = "too_large"
 )
 
 // IsBackpressureCode reports whether a wire error code signals transient
@@ -131,7 +148,7 @@ type OffloadRequest struct {
 // is called server-side).
 func (r OffloadRequest) Validate() error {
 	if r.Version != ProtocolVersion {
-		return fmt.Errorf("cran: protocol version %d, want %d", r.Version, ProtocolVersion)
+		return fmt.Errorf("%w: envelope version %d, want %d", ErrUnsupportedVersion, r.Version, ProtocolVersion)
 	}
 	switch r.Type {
 	case "", TypeOffload:
@@ -206,6 +223,10 @@ func (r OffloadResponse) Err() error {
 		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrAdmissionRejected)
 	case CodeExpired:
 		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrDeadlineExceeded)
+	case CodeUnsupportedVersion:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrUnsupportedVersion)
+	case CodeTooLarge:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrRequestTooLarge)
 	}
 	return fmt.Errorf("cran: coordinator rejected request: %s", r.Error)
 }

@@ -2,12 +2,14 @@ package cran
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tsajs/tsajs/internal/baseline"
@@ -161,10 +163,24 @@ func (c ServerConfig) Validate() error {
 	return nil
 }
 
-// pending is one request waiting for its epoch.
+// pending is one request waiting for its epoch. Exactly one of the two
+// delivery paths is set: reply (the JSON connection handler blocks on it,
+// preserving the one-request-per-round-trip discipline) or sink+sinkID (the
+// binary path enqueues the response frame on the connection's writer, so
+// many pendings from one connection ride distinct epochs concurrently).
 type pending struct {
 	req   OffloadRequest
 	reply chan OffloadResponse
+	// sink, when non-nil, receives the encoded response frame under sinkID
+	// (the client-chosen request ID echoed back in the frame header).
+	sink   *binWriter
+	sinkID uint64
+	// answered guards at-most-once delivery (CAS 0→1 in Server.reply): a
+	// recovered panic may leave part of a batch already answered, and
+	// failBatch must neither double-send nor deadlock on it. Plain uint32
+	// rather than atomic.Bool so pending values stay copyable (batches are
+	// built by appending values; the CAS always targets the batch slot).
+	answered uint32
 	// arrived is when the request was admitted; deadline is when its answer
 	// stops being useful (zero: never expires).
 	arrived  time.Time
@@ -344,7 +360,7 @@ func (s *Server) acceptLoop() {
 			s.stats.connThrottled()
 			// Tell the client why before hanging up, so it can degrade
 			// rather than diagnose a silent close.
-			_ = writeResponse(conn, OffloadResponse{
+			_ = s.writeJSON(conn, OffloadResponse{
 				Version: ProtocolVersion,
 				Error:   "coordinator at connection capacity",
 			})
@@ -360,9 +376,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn reads newline-delimited requests and writes one response per
-// request, in order. A panic while serving one connection is confined to
-// that connection: it is recovered, counted, and the connection closed.
+// serveConn negotiates the connection's protocol on its first bytes and
+// dispatches to the matching reader: the wirev2 handshake prefix selects
+// the binary framed protocol, anything else the historical newline-
+// delimited JSON loop (a JSON line can never start with the handshake's
+// NUL byte). A panic while serving one connection is confined to that
+// connection: it is recovered, counted, and the connection closed.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -376,7 +395,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.stats.activeConns.Set(float64(active))
 	}()
-	scanner := bufio.NewScanner(conn)
+	if s.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	br := bufio.NewReaderSize(conn, 64*1024)
+	prefix, err := br.Peek(len(wireMagic))
+	if err == nil && bytes.Equal(prefix, wireMagic[:]) {
+		s.serveBinary(conn, br)
+		return
+	}
+	// Not a binary handshake (or the connection died before three bytes
+	// arrived): hand whatever is buffered to the JSON line reader.
+	s.serveJSON(conn, br)
+}
+
+// serveJSON reads newline-delimited requests and writes one response per
+// request, in order — the historical protocol.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
+	scanner := bufio.NewScanner(br)
 	initial := 64 * 1024
 	if initial > s.cfg.MaxLineBytes {
 		initial = s.cfg.MaxLineBytes
@@ -391,7 +427,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// The scanner lost the line boundary, so answer with the
 				// typed limit error and drop the connection.
 				s.stats.oversizeRequest()
-				_ = writeResponse(conn, OffloadResponse{Version: ProtocolVersion, Error: ErrRequestTooLarge.Error()})
+				_ = s.writeJSON(conn, OffloadResponse{Version: ProtocolVersion, Error: ErrRequestTooLarge.Error(), Code: CodeTooLarge})
 			}
 			return
 		}
@@ -399,8 +435,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		s.stats.frameRead(false, len(line)+1)
 		resp := s.handle(line)
-		if err := writeResponse(conn, resp); err != nil {
+		if err := s.writeJSON(conn, resp); err != nil {
 			return
 		}
 		if s.isClosed() {
@@ -419,13 +456,38 @@ func (s *Server) handle(line []byte) OffloadResponse {
 	s.applyDefaults(&req)
 	if err := req.Validate(); err != nil {
 		s.stats.requestRejected()
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: err.Error()}
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: err.Error(), Code: rejectionCode(err)}
 	}
 	if req.Type == TypeHealth {
 		return s.handleHealth(req)
 	}
 	p := pending{req: req, reply: make(chan OffloadResponse, 1), arrived: time.Now()}
-	if budget := s.deadlineBudget(req); budget > 0 {
+	if resp, ok := s.admit(&p); !ok {
+		return resp
+	}
+	select {
+	case resp := <-p.reply:
+		return resp
+	case <-s.quit:
+		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
+	}
+}
+
+// rejectionCode classifies a validation error into a typed wire code;
+// empty for rejections that predate the typed codes.
+func rejectionCode(err error) string {
+	if errors.Is(err, ErrUnsupportedVersion) {
+		return CodeUnsupportedVersion
+	}
+	return ""
+}
+
+// admit applies deadline admission control to p and hands it to the batch
+// collector. When the request cannot enter batching, the immediate answer
+// is returned with ok=false; otherwise the collector owns a copy of p and
+// exactly one response will later arrive through p's reply channel or sink.
+func (s *Server) admit(p *pending) (resp OffloadResponse, ok bool) {
+	if budget := s.deadlineBudget(p.req); budget > 0 {
 		p.deadline = p.arrived.Add(budget)
 		// Admission control: when the estimated queue wait (EWMA epoch
 		// service time × epochs ahead) already exceeds the request's whole
@@ -436,11 +498,11 @@ func (s *Server) handle(line []byte) OffloadResponse {
 			s.stats.requestShed(CodeAdmission)
 			return OffloadResponse{
 				Version: ProtocolVersion,
-				UserID:  req.UserID,
+				UserID:  p.req.UserID,
 				Error: fmt.Sprintf("%s: estimated wait %s exceeds deadline %s",
 					ErrAdmissionRejected.Error(), est.Round(time.Millisecond), budget),
 				Code: CodeAdmission,
-			}
+			}, false
 		}
 	}
 	// Count the request before handing it to the batcher: once the send
@@ -449,16 +511,11 @@ func (s *Server) handle(line []byte) OffloadResponse {
 	// snapshot invariant needs Requests to be visible first.
 	s.stats.requestEntered()
 	select {
-	case s.submit <- p:
+	case s.submit <- *p:
+		return OffloadResponse{}, true
 	case <-s.quit:
 		s.stats.requestRejected()
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
-	}
-	select {
-	case resp := <-p.reply:
-		return resp
-	case <-s.quit:
-		return OffloadResponse{Version: ProtocolVersion, UserID: req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}
+		return OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: "coordinator shutting down", Code: CodeShutdown}, false
 	}
 }
 
@@ -544,6 +601,10 @@ func (s *Server) batchLoop() {
 	for {
 		select {
 		case p := <-s.submit:
+			// The collector is the single choke point every admitted request
+			// passes through, whichever protocol carried it: count it in
+			// flight here, and let the at-most-once reply path decrement.
+			s.stats.inflightReqs.Add(1)
 			batch = append(batch, p)
 			if len(batch) >= s.cfg.MaxBatch {
 				flush()
@@ -596,18 +657,30 @@ func (s *Server) enqueueEpoch(batch []pending) {
 
 // failBatch answers every request in the batch with the same typed error.
 func (s *Server) failBatch(batch []pending, code, msg string) {
-	for _, p := range batch {
-		s.stats.requestShed(code)
-		reply(p, OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg, Code: code})
+	for i := range batch {
+		p := &batch[i]
+		if s.reply(p, OffloadResponse{Version: ProtocolVersion, UserID: p.req.UserID, Error: msg, Code: code}) {
+			s.stats.requestShed(code)
+		}
 	}
 }
 
-// reply delivers a response without blocking: the channel has capacity one
-// and each request is answered at most once, but if a recovered panic left
-// part of a batch already answered, failBatch must not deadlock on it.
-func reply(p pending, resp OffloadResponse) {
+// reply delivers a response at most once and never blocks: the answered CAS
+// targets the batch slot itself, so if a recovered panic left part of a
+// batch already answered, failBatch neither double-sends nor double-counts.
+// It reports whether this call delivered the answer.
+func (s *Server) reply(p *pending, resp OffloadResponse) bool {
+	if !atomic.CompareAndSwapUint32(&p.answered, 0, 1) {
+		return false
+	}
+	s.stats.inflightReqs.Add(-1)
+	if p.sink != nil {
+		p.sink.send(p.sinkID, &resp)
+		return true
+	}
 	select {
 	case p.reply <- resp:
 	default:
 	}
+	return true
 }

@@ -70,6 +70,20 @@ type Stats struct {
 	// QueueWaitEstimate is the admission controller's current estimated
 	// queue wait (EWMA epoch service time × queue depth), last sampled.
 	QueueWaitEstimate time.Duration `json:"queueWaitEstimate"`
+	// BytesRead and BytesWritten count wire traffic across both protocols
+	// (request lines and frames in, response lines and frames out,
+	// handshakes included).
+	BytesRead    uint64 `json:"bytesRead"`
+	BytesWritten uint64 `json:"bytesWritten"`
+	// FramesJSON and FramesBinary count protocol frames processed in either
+	// direction — a JSON "frame" is one newline-delimited envelope, a
+	// binary frame one length-prefixed wirev2 frame.
+	FramesJSON   uint64 `json:"framesJSON"`
+	FramesBinary uint64 `json:"framesBinary"`
+	// InflightRequests is the number of admitted requests currently
+	// awaiting their epoch's answer (in the collector, the solve queue, or
+	// an executing solve), last sampled.
+	InflightRequests int `json:"inflightRequests"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -114,6 +128,14 @@ type statsCollector struct {
 	shedExpired       *obs.Counter
 	fullExpired       *obs.Counter
 	queueWaitEst      *obs.Gauge
+
+	// Wire metrics: traffic and frame counts per protocol, and the number
+	// of admitted requests whose answer is still in flight.
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	framesJSON   *obs.Counter
+	framesBinary *obs.Counter
+	inflightReqs *obs.Gauge
 }
 
 func newStatsCollector(reg *obs.Registry) *statsCollector {
@@ -177,6 +199,38 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 			"Full-quality solves that included an already-expired request (serving-path tripwire; stays zero)."),
 		queueWaitEst: reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
 			"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth)."),
+		bytesRead: reg.Counter("tsajs_coordinator_bytes_read_total",
+			"Bytes read off the wire across both protocols (request lines, frames, handshakes)."),
+		bytesWritten: reg.Counter("tsajs_coordinator_bytes_written_total",
+			"Bytes written to the wire across both protocols (response lines and frames)."),
+		framesJSON: reg.Counter("tsajs_coordinator_frames_total",
+			"Protocol frames processed in either direction, by codec.",
+			obs.Label{Key: "codec", Value: "json"}),
+		framesBinary: reg.Counter("tsajs_coordinator_frames_total",
+			"Protocol frames processed in either direction, by codec.",
+			obs.Label{Key: "codec", Value: "binary"}),
+		inflightReqs: reg.Gauge("tsajs_coordinator_inflight_requests",
+			"Admitted requests currently awaiting their epoch's answer."),
+	}
+}
+
+// frameRead counts one inbound protocol frame of n wire bytes.
+func (c *statsCollector) frameRead(binaryCodec bool, n int) {
+	c.bytesRead.Add(uint64(n))
+	if binaryCodec {
+		c.framesBinary.Inc()
+	} else {
+		c.framesJSON.Inc()
+	}
+}
+
+// frameWritten counts one outbound protocol frame of n wire bytes.
+func (c *statsCollector) frameWritten(binaryCodec bool, n int) {
+	c.bytesWritten.Add(uint64(n))
+	if binaryCodec {
+		c.framesBinary.Inc()
+	} else {
+		c.framesJSON.Inc()
 	}
 }
 
@@ -268,6 +322,12 @@ func (c *statsCollector) snapshot() Stats {
 	s.ShedExpired = c.shedExpired.Value()
 	s.FullSolvesExpired = c.fullExpired.Value()
 	s.QueueWaitEstimate = time.Duration(c.queueWaitEst.Value() * float64(time.Second))
+
+	s.BytesRead = c.bytesRead.Value()
+	s.BytesWritten = c.bytesWritten.Value()
+	s.FramesJSON = c.framesJSON.Value()
+	s.FramesBinary = c.framesBinary.Value()
+	s.InflightRequests = int(c.inflightReqs.Value())
 	return s
 }
 

@@ -82,6 +82,22 @@ and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
 		"Full-quality solves that included an already-expired request (serving-path tripwire; stays zero).")
 	reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
 		"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth).").Set(0.0625)
+
+	// The wirev2 transport family (as registered by internal/cran): byte
+	// counters for both directions, the per-codec frame counter, and the
+	// in-flight request gauge.
+	reg.Counter("tsajs_coordinator_bytes_read_total",
+		"Bytes read off the wire across both protocols (request lines, frames, handshakes).").Add(4096)
+	reg.Counter("tsajs_coordinator_bytes_written_total",
+		"Bytes written to the wire across both protocols (response lines and frames).").Add(2048)
+	reg.Counter("tsajs_coordinator_frames_total",
+		"Protocol frames processed in either direction, by codec.",
+		Label{Key: "codec", Value: "json"}).Add(12)
+	reg.Counter("tsajs_coordinator_frames_total",
+		"Protocol frames processed in either direction, by codec.",
+		Label{Key: "codec", Value: "binary"}).Add(30)
+	reg.Gauge("tsajs_coordinator_inflight_requests",
+		"Admitted requests currently awaiting their epoch's answer.").Set(5)
 	return reg
 }
 
@@ -125,6 +141,18 @@ func TestGoldenJSON(t *testing.T) {
 // comes from sorting, not registration history.
 func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
 	reg := NewRegistry()
+	reg.Gauge("tsajs_coordinator_inflight_requests",
+		"Admitted requests currently awaiting their epoch's answer.").Set(5)
+	reg.Counter("tsajs_coordinator_frames_total",
+		"Protocol frames processed in either direction, by codec.",
+		Label{Key: "codec", Value: "binary"}).Add(30)
+	reg.Counter("tsajs_coordinator_frames_total",
+		"Protocol frames processed in either direction, by codec.",
+		Label{Key: "codec", Value: "json"}).Add(12)
+	reg.Counter("tsajs_coordinator_bytes_written_total",
+		"Bytes written to the wire across both protocols (response lines and frames).").Add(2048)
+	reg.Counter("tsajs_coordinator_bytes_read_total",
+		"Bytes read off the wire across both protocols (request lines, frames, handshakes).").Add(4096)
 	reg.Gauge("tsajs_coordinator_queue_wait_estimate_seconds",
 		"Estimated queue wait for a newly admitted request (EWMA epoch service time times queue depth).").Set(0.0625)
 	reg.Counter("tsajs_coordinator_full_solves_expired_total",

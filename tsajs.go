@@ -310,6 +310,27 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	return cran.NewServer(addr, cfg)
 }
 
+// Coordinator wire protocols, for ResilienceConfig.Protocol: the
+// newline-delimited JSON of the original coordinator, and the wirev2
+// framed binary protocol that multiplexes many in-flight requests over one
+// connection. A coordinator serves both on the same port, negotiated on
+// each connection's first bytes.
+const (
+	CoordinatorProtocolJSON   = cran.ProtoJSON
+	CoordinatorProtocolBinary = cran.ProtoBinary
+)
+
+// ErrUnsupportedVersion is the typed rejection of an envelope or binary
+// handshake carrying a protocol version the coordinator does not speak.
+var ErrUnsupportedVersion = cran.ErrUnsupportedVersion
+
+// DialCoordinatorBinary connects a device-side client to a coordinator
+// over the wirev2 binary protocol, with DialCoordinator's strict
+// semantics. Concurrent Offload calls multiplex over the one connection,
+// each under its own 64-bit request ID, so a single client can hold many
+// requests in flight across scheduling epochs.
+func DialCoordinatorBinary(addr string) (*CoordinatorClient, error) { return cran.DialBinary(addr) }
+
 // DialCoordinator connects a device-side client to a coordinator. The
 // returned client is strict: it fails fast when the coordinator is
 // unreachable and surfaces every transport error. Use
