@@ -14,6 +14,20 @@
 // -metrics-addr set, the coordinator additionally serves /metrics
 // (Prometheus text), /stats (the Stats snapshot as JSON), /healthz, and
 // the net/http/pprof profiling handlers under /debug/pprof/.
+//
+// Sharded clusters: with -shards K -shard-index I the process serves as one
+// shard of a K-coordinator cluster, owning the cells the consistent-hash
+// ring assigns to index I and rejecting foreign-cell requests with the
+// typed wrong_shard code. With -router -shard-addrs a,b,... the process
+// instead fronts such a cluster behind a single JSON endpoint, routing each
+// request to the shard owning its cell:
+//
+//	tsajs-coordinator -listen :7601 -shards 4 -shard-index 0
+//	...
+//	tsajs-coordinator -listen :7600 -router -shard-addrs :7601,:7602,:7603,:7604
+//
+// Every component derives the same cell→shard table from (-servers,
+// -shards, -ring-replicas), so no table is exchanged on the wire.
 package main
 
 import (
@@ -24,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +78,12 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 		metricsAddr = fs.String("metrics-addr", "",
 			"HTTP introspection listen address serving /metrics (Prometheus), /stats (JSON), /healthz and /debug/pprof/ (empty disables)")
+
+		shards       = fs.Int("shards", 0, "coordinator shards in the cluster (0 = unpartitioned single coordinator)")
+		shardIndex   = fs.Int("shard-index", 0, "this coordinator's shard index in [0,shards)")
+		ringReplicas = fs.Int("ring-replicas", 0, "consistent-hash ring vnodes per shard (0 = default)")
+		router       = fs.Bool("router", false, "serve as the cluster router instead of a coordinator: forward each request to the shard owning its cell")
+		shardAddrs   = fs.String("shard-addrs", "", "router: comma-separated shard coordinator addresses, index i is shard i")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,8 +92,31 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	params := defaults
 	params.NumServers = *servers
 	params.NumChannels = *channels
+
+	if *router {
+		return runRouter(params, *listen, *shardAddrs, *ringReplicas, *metricsAddr, stdout, stop)
+	}
+	if *shardAddrs != "" {
+		return fmt.Errorf("-shard-addrs only applies with -router")
+	}
+
 	ttsaCfg := tsajs.DefaultConfig()
 	ttsaCfg.MaxEvaluations = *budget
+
+	var partition *tsajs.CoordinatorPartition
+	if *shards > 0 {
+		ring, err := tsajs.NewShardRing(*shards, *ringReplicas)
+		if err != nil {
+			return err
+		}
+		partition = &tsajs.CoordinatorPartition{
+			Shards:     *shards,
+			Index:      *shardIndex,
+			Assignment: ring.Assignment(*servers),
+		}
+	} else if *shardIndex != 0 {
+		return fmt.Errorf("-shard-index needs -shards")
+	}
 
 	reg := tsajs.NewMetricsRegistry()
 	srv, err := tsajs.NewCoordinator(*listen, tsajs.CoordinatorConfig{
@@ -90,6 +134,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 		DefaultDeadline: *deadline,
 		Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
+		Partition:       partition,
 	})
 	if err != nil {
 		return err
@@ -97,6 +142,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	defer srv.Close()
 	fmt.Fprintf(stdout, "coordinator listening on %s (S=%d, N=%d, window=%s)\n",
 		srv.Addr(), *servers, *channels, *window)
+	if partition != nil {
+		fmt.Fprintf(stdout, "shard %d of %d owning cells %v\n",
+			partition.Index, partition.Shards, tsajs.ShardOwned(partition.Assignment, partition.Index))
+	}
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -126,6 +175,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(stdout, "hardening: %d oversize requests, %d throttled connections, %d panics recovered, %d epochs shed\n",
 			stats.OversizeRequests, stats.ThrottledConns, stats.PanicsRecovered, stats.EpochsRejected)
 	}
+	if stats.WrongShard > 0 {
+		fmt.Fprintf(stdout, "sharding: %d wrong-shard rejections (client routing tables are stale)\n", stats.WrongShard)
+	}
 	degraded := stats.EpochsDegradedTruncated + stats.EpochsDegradedCheap
 	shed := stats.ShedQueueFull + stats.ShedAdmission + stats.ShedExpired
 	if degraded+stats.EpochsExpired+shed > 0 {
@@ -134,5 +186,66 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			degraded, stats.EpochsDegradedTruncated, stats.EpochsDegradedCheap, stats.EpochsExpired,
 			shed, stats.ShedQueueFull, stats.ShedAdmission, stats.ShedExpired)
 	}
+	return nil
+}
+
+// runRouter serves the cluster-router mode: a single JSON endpoint fanning
+// requests out to the shard cluster at shardAddrs over the binary protocol.
+func runRouter(params tsajs.Params, listen, shardAddrs string, ringReplicas int, metricsAddr string, stdout io.Writer, stop <-chan struct{}) error {
+	if shardAddrs == "" {
+		return fmt.Errorf("-router needs -shard-addrs")
+	}
+	addrs := strings.Split(shardAddrs, ",")
+	for i, a := range addrs {
+		addrs[i] = strings.TrimSpace(a)
+		if addrs[i] == "" {
+			return fmt.Errorf("-shard-addrs entry %d is empty", i)
+		}
+	}
+
+	reg := tsajs.NewMetricsRegistry()
+	rt, err := tsajs.NewShardRouter(listen, tsajs.ShardRouterConfig{
+		Client: tsajs.ShardClientConfig{
+			Addrs:      addrs,
+			Sites:      tsajs.CellSites(params),
+			Replicas:   ringReplicas,
+			Resilience: tsajs.ResilienceConfig{Protocol: tsajs.CoordinatorProtocolBinary},
+			Metrics:    reg,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	fmt.Fprintf(stdout, "router listening on %s fronting %d shards (S=%d)\n",
+		rt.Addr(), len(addrs), params.NumServers)
+
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		httpSrv := &http.Server{Handler: tsajs.MetricsMux(reg, nil)}
+		defer httpSrv.Close()
+		go func() { _ = httpSrv.Serve(mln) }()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	} else {
+		<-stop
+	}
+	cli := rt.Client()
+	var perShard []uint64
+	for i := 0; i < cli.Shards(); i++ {
+		perShard = append(perShard, cli.Requests(i))
+	}
+	fmt.Fprintf(stdout, "shutting down: %v requests by shard, %d cross-shard handoffs\n",
+		perShard, cli.Handoffs())
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -198,6 +199,124 @@ func TestCoordinatorRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}, &sb, nil); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-shards", "2", "-shard-index", "2"}, &sb, make(chan struct{})); err == nil {
+		t.Error("shard index out of range accepted")
+	}
+	if err := run([]string{"-shard-index", "1"}, &sb, make(chan struct{})); err == nil {
+		t.Error("-shard-index without -shards accepted")
+	}
+	if err := run([]string{"-shard-addrs", "127.0.0.1:1"}, &sb, make(chan struct{})); err == nil {
+		t.Error("-shard-addrs without -router accepted")
+	}
+	if err := run([]string{"-router"}, &sb, make(chan struct{})); err == nil {
+		t.Error("-router without -shard-addrs accepted")
+	}
+	if err := run([]string{"-router", "-shard-addrs", "127.0.0.1:1,,127.0.0.1:2"}, &sb, make(chan struct{})); err == nil {
+		t.Error("empty shard address accepted")
+	}
+}
+
+// startProc runs the command in a goroutine and returns the address parsed
+// from its banner plus a shutdown func that asserts a clean exit.
+func startProc(t *testing.T, args []string, marker string) (addr string, shutdown func()) {
+	t.Helper()
+	stop := make(chan struct{})
+	var sb strings.Builder
+	var mu sync.Mutex
+	out := &lockedWriter{sb: &sb, mu: &mu}
+	done := make(chan error, 1)
+	go func() { done <- run(args, out, stop) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("process %v never printed %q", args, marker)
+		}
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		text := sb.String()
+		mu.Unlock()
+		if i := strings.Index(text, marker); i >= 0 {
+			addr = strings.Fields(text[i+len(marker):])[0]
+		}
+	}
+	return addr, func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Error(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Errorf("process %v did not stop", args)
+		}
+	}
+}
+
+// TestCoordinatorShardClusterWithRouter boots a 2-shard cluster plus a
+// router, all through the command's own flag surface, and drives requests in
+// both shards' territories through the single router endpoint.
+func TestCoordinatorShardClusterWithRouter(t *testing.T) {
+	common := []string{"-servers", "4", "-channels", "2", "-window", "10ms", "-budget", "500"}
+	var shardAddrs []string
+	for i := 0; i < 2; i++ {
+		args := append([]string{"-listen", "127.0.0.1:0", "-shards", "2", "-shard-index", fmt.Sprint(i)}, common...)
+		addr, shutdown := startProc(t, args, "listening on ")
+		defer shutdown()
+		shardAddrs = append(shardAddrs, addr)
+	}
+	routerAddr, shutdownRouter := startProc(t,
+		append([]string{"-listen", "127.0.0.1:0", "-router", "-shard-addrs", strings.Join(shardAddrs, ",")}, common...),
+		"router listening on ")
+	defer shutdownRouter()
+
+	cli, err := tsajs.DialCoordinator(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// One request near each of the four cell sites: whatever the ring
+	// assignment is, both shards see traffic, and every offloaded decision
+	// names the serving cell itself.
+	sites := tsajs.CellSites(func() tsajs.Params {
+		p := tsajs.DefaultParams()
+		p.NumServers = 4
+		p.NumChannels = 2
+		return p
+	}())
+	for cell, site := range sites {
+		resp, err := cli.Offload(ctx, tsajs.OffloadRequest{
+			UserID: "cluster-user",
+			Pos:    tsajs.Point{X: site.X + 0.02, Y: site.Y + 0.01},
+			Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 2e9},
+		})
+		if err != nil {
+			t.Fatalf("cell %d: %v", cell, err)
+		}
+		if resp.Offload && resp.Server != cell {
+			t.Errorf("cell %d: offloaded to server %d", cell, resp.Server)
+		}
+	}
+
+	h, err := cli.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats.ShardCount != 2 {
+		t.Errorf("merged health ShardCount = %d, want 2", h.Stats.ShardCount)
+	}
+	if h.Stats.Requests != uint64(len(sites)) {
+		t.Errorf("merged health Requests = %d, want %d", h.Stats.Requests, len(sites))
+	}
+	if h.Stats.WrongShard != 0 {
+		t.Errorf("wrong-shard tripwire fired %d times", h.Stats.WrongShard)
+	}
+	if h.Stats.CellsOwned != 4 {
+		t.Errorf("merged CellsOwned = %d, want 4", h.Stats.CellsOwned)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	tsajs-loadgen -protocol binary -conns 4             # wirev2 multiplexed frames
 //	tsajs-loadgen -workers 4 -queue-depth 8 -json       # pipeline knobs + JSON report
 //	tsajs-loadgen -deadline 150 -brownout -chaos 40ms   # overload-resilience drill
+//	tsajs-loadgen -shards 4 -conns 16                   # self-hosted 4-shard cluster
 //
 // With -addr empty (the default) the tool starts an in-process coordinator
 // with the given -servers/-channels/-workers/-queue-depth configuration, so
@@ -17,6 +18,13 @@
 // epoch batching, the bounded solve queue, and the TTSA solve itself.
 // Epochs/sec comes from a health-probe delta over the measured window;
 // latencies are client-observed round trips.
+//
+// With -shards K the self-hosted tier becomes a K-coordinator cluster
+// partitioned by cell over the consistent-hash ring, driven through
+// shard-aware clients. Each connection's user walks across the cell layout
+// between requests, so routing crosses shard boundaries and the report's
+// handoff count measures real cross-shard mobility. Throughput and queue
+// figures come from the merged cluster health view.
 package main
 
 import (
@@ -75,6 +83,13 @@ type report struct {
 	EpochsDegraded uint64  `json:"epochsDegraded"`
 	EpochsExpired  uint64  `json:"epochsExpired"`
 	SolverWorkers  int     `json:"solverWorkers"`
+
+	// Cluster view (zero/absent for a single unpartitioned coordinator):
+	// shard count, cross-shard handoffs observed by the clients, and the
+	// coordinators' wrong-shard tripwire (must stay zero).
+	Shards     int    `json:"shards,omitempty"`
+	Handoffs   uint64 `json:"handoffs,omitempty"`
+	WrongShard uint64 `json:"wrongShard,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -100,6 +115,9 @@ func run(args []string, stdout io.Writer) error {
 		deadlineMs = fs.Float64("deadline", 0, "self-host: default per-request deadline [ms] (0 = none)")
 		brownout   = fs.Bool("brownout", false, "self-host: enable brownout solver degradation under queue pressure")
 		chaos      = fs.Duration("chaos", 0, "self-host: inject this solver delay into every epoch (0 = none)")
+
+		shards       = fs.Int("shards", 0, "self-host: coordinator shards (0 = one unpartitioned coordinator; K >= 1 partitions the cells over a K-shard cluster)")
+		ringReplicas = fs.Int("ring-replicas", 0, "self-host: consistent-hash ring vnodes per shard (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,14 +132,16 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("protocol must be %q or %q, got %q",
 			tsajs.CoordinatorProtocolJSON, tsajs.CoordinatorProtocolBinary, *protocol)
 	}
+	if *shards > 0 && *addr != "" {
+		return fmt.Errorf("-shards drives a self-hosted cluster and cannot combine with -addr")
+	}
 
-	target := *addr
-	if target == "" {
-		params := defaults
-		params.NumServers = *servers
-		params.NumChannels = *channels
-		ttsaCfg := tsajs.DefaultConfig()
-		ttsaCfg.MaxEvaluations = *budget
+	params := defaults
+	params.NumServers = *servers
+	params.NumChannels = *channels
+	ttsaCfg := tsajs.DefaultConfig()
+	ttsaCfg.MaxEvaluations = *budget
+	mkConfig := func(partition *tsajs.CoordinatorPartition) tsajs.CoordinatorConfig {
 		cfg := tsajs.CoordinatorConfig{
 			Params:          params,
 			BatchWindow:     *window,
@@ -132,27 +152,109 @@ func run(args []string, stdout io.Writer) error {
 			Seed:            *seed,
 			DefaultDeadline: time.Duration(*deadlineMs * float64(time.Millisecond)),
 			Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
+			Partition:       partition,
 		}
 		if *chaos > 0 {
 			cfg.SolverChaos = &tsajs.SolverChaos{Seed: *seed, DelayProb: 1, Delay: *chaos}
 		}
-		srv, err := tsajs.NewCoordinator("127.0.0.1:0", cfg)
+		return cfg
+	}
+	// With -json the banner moves to stderr so stdout stays a single
+	// machine-readable document fit for redirection.
+	bannerOut := stdout
+	if *jsonOut {
+		bannerOut = os.Stderr
+	}
+
+	opts := driveOpts{
+		protocol: *protocol,
+		conns:    *conns,
+		duration: *duration,
+		rate:     *rate,
+		// The default load orbits within the central cell: serving-path
+		// throughput without routing churn.
+		pos: func(c, i int) tsajs.Point {
+			return tsajs.Point{
+				X: 0.4*math.Cos(float64(c)+0.1*float64(i)) + 0.1,
+				Y: 0.4 * math.Sin(float64(c)+0.1*float64(i)),
+			}
+		},
+		userID: func(c, i int) string { return fmt.Sprintf("lg-%d-%d", c, i) },
+	}
+
+	switch {
+	case *shards > 0:
+		// Self-hosted K-shard cluster driven through shard-aware clients.
+		ring, err := tsajs.NewShardRing(*shards, *ringReplicas)
+		if err != nil {
+			return err
+		}
+		assignment := ring.Assignment(*servers)
+		addrs := make([]string, *shards)
+		for i := 0; i < *shards; i++ {
+			srv, err := tsajs.NewCoordinator("127.0.0.1:0",
+				mkConfig(&tsajs.CoordinatorPartition{Shards: *shards, Index: i, Assignment: assignment}))
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			addrs[i] = srv.Addr().String()
+		}
+		sites := tsajs.CellSites(params)
+		// One registry for every client of the run, so the tsajs_shard_*
+		// rollup (per-shard requests, handoffs) aggregates across them.
+		reg := tsajs.NewMetricsRegistry()
+		opts.dial = func() (client, error) {
+			return tsajs.NewShardClient(tsajs.ShardClientConfig{
+				Addrs:      addrs,
+				Sites:      sites,
+				Assignment: assignment,
+				Resilience: tsajs.ResilienceConfig{
+					Protocol:         *protocol,
+					MaxAttempts:      1,
+					BreakerThreshold: -1,
+				},
+				Metrics: reg,
+			})
+		}
+		counters, err := tsajs.NewShardClient(tsajs.ShardClientConfig{
+			Addrs: addrs, Sites: sites, Assignment: assignment, Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer counters.Close()
+		opts.shards = *shards
+		opts.handoffs = counters.Handoffs
+		// Each connection's user is stable and walks one site further every
+		// request, so routing keeps crossing cell — and shard — boundaries.
+		opts.userID = func(c, i int) string { return fmt.Sprintf("lg-%d", c) }
+		opts.pos = func(c, i int) tsajs.Point {
+			site := sites[(c+i)%len(sites)]
+			return tsajs.Point{
+				X: site.X + 0.1*math.Cos(float64(c)+0.1*float64(i)),
+				Y: site.Y + 0.1*math.Sin(float64(c)+0.1*float64(i)),
+			}
+		}
+		fmt.Fprintf(bannerOut, "self-hosted %d-shard cluster on %v (S=%d, N=%d)\n",
+			*shards, addrs, *servers, *channels)
+
+	case *addr == "":
+		srv, err := tsajs.NewCoordinator("127.0.0.1:0", mkConfig(nil))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		target = srv.Addr().String()
-		// With -json the banner moves to stderr so stdout stays a single
-		// machine-readable document fit for redirection.
-		bannerOut := stdout
-		if *jsonOut {
-			bannerOut = os.Stderr
-		}
+		target := srv.Addr().String()
+		opts.dial = dialFunc(target, *protocol)
 		fmt.Fprintf(bannerOut, "self-hosted coordinator on %s (S=%d, N=%d, workers=%d)\n",
 			target, *servers, *channels, srv.Stats().SolverWorkers)
+
+	default:
+		opts.dial = dialFunc(*addr, *protocol)
 	}
 
-	rep, err := drive(target, *protocol, *conns, *duration, *rate)
+	rep, err := drive(opts)
 	if err != nil {
 		return err
 	}
@@ -176,16 +278,49 @@ func run(args []string, stdout io.Writer) error {
 		rep.Protocol, rep.BytesPerRequest, rep.FramesPerSec)
 	fmt.Fprintf(stdout, "pipeline: %d solver workers, queue depth %d (max seen %d), %d epochs shed, %d degraded, %d expired\n",
 		rep.SolverWorkers, rep.QueueDepth, rep.MaxQueueDepth, rep.EpochsRejected, rep.EpochsDegraded, rep.EpochsExpired)
+	if rep.Shards > 0 {
+		fmt.Fprintf(stdout, "cluster: %d shards, %d cross-shard handoffs, %d wrong-shard rejections\n",
+			rep.Shards, rep.Handoffs, rep.WrongShard)
+	}
 	return nil
 }
 
-// drive runs the measurement window against the coordinator at target.
-func drive(target, protocol string, conns int, duration time.Duration, rate float64) (report, error) {
+// client is the slice of the coordinator-client surface the generator
+// needs; both the direct cran client and the shard-aware fan-out satisfy it.
+type client interface {
+	Offload(ctx context.Context, req tsajs.OffloadRequest) (tsajs.OffloadResponse, error)
+	Health(ctx context.Context) (tsajs.CoordinatorHealth, error)
+	Close() error
+}
+
+// dialFunc adapts the direct single-coordinator dialers to the client
+// factory drive consumes.
+func dialFunc(target, protocol string) func() (client, error) {
 	dial := tsajs.DialCoordinator
 	if protocol == tsajs.CoordinatorProtocolBinary {
 		dial = tsajs.DialCoordinatorBinary
 	}
-	probe, err := dial(target)
+	return func() (client, error) { return dial(target) }
+}
+
+// driveOpts parametrizes a measurement window: how to reach the serving
+// tier, the offered load, and the per-request identity and position shape.
+type driveOpts struct {
+	dial     func() (client, error)
+	protocol string
+	conns    int
+	duration time.Duration
+	rate     float64
+	pos      func(conn, seq int) tsajs.Point
+	userID   func(conn, seq int) string
+	shards   int
+	handoffs func() uint64
+}
+
+// drive runs the measurement window against the serving tier.
+func drive(opts driveOpts) (report, error) {
+	conns, duration, rate := opts.conns, opts.duration, opts.rate
+	probe, err := opts.dial()
 	if err != nil {
 		return report{}, fmt.Errorf("probe dial: %w", err)
 	}
@@ -220,7 +355,7 @@ func drive(target, protocol string, conns int, duration time.Duration, rate floa
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cli, err := dial(target)
+			cli, err := opts.dial()
 			if err != nil {
 				stats[c].transport++
 				return
@@ -235,12 +370,9 @@ func drive(target, protocol string, conns int, duration time.Duration, rate floa
 					next = next.Add(interval)
 				}
 				req := tsajs.OffloadRequest{
-					UserID: fmt.Sprintf("lg-%d-%d", c, i),
-					Pos: tsajs.Point{
-						X: 0.4*math.Cos(float64(c)+0.1*float64(i)) + 0.1,
-						Y: 0.4 * math.Sin(float64(c)+0.1*float64(i)),
-					},
-					Task: tsajs.Task{DataBits: 420 * 8 * 1024, WorkCycles: 1000e6},
+					UserID: opts.userID(c, i),
+					Pos:    opts.pos(c, i),
+					Task:   tsajs.Task{DataBits: 420 * 8 * 1024, WorkCycles: 1000e6},
 				}
 				start := time.Now()
 				resp, err := cli.Offload(ctx, req)
@@ -296,7 +428,7 @@ func drive(target, protocol string, conns int, duration time.Duration, rate floa
 	}
 
 	var all []time.Duration
-	rep := report{Conns: conns, Protocol: protocol, DurationS: elapsed, OfferedRPS: rate, MaxQueueDepth: maxQueue}
+	rep := report{Conns: conns, Protocol: opts.protocol, DurationS: elapsed, OfferedRPS: rate, MaxQueueDepth: maxQueue}
 	for _, cs := range stats {
 		all = append(all, cs.latencies...)
 		rep.Scheduled += cs.scheduled
@@ -330,6 +462,11 @@ func drive(target, protocol string, conns int, duration time.Duration, rate floa
 	rep.EpochsDegraded = after.Stats.EpochsDegradedTruncated + after.Stats.EpochsDegradedCheap
 	rep.EpochsExpired = after.Stats.EpochsExpired
 	rep.SolverWorkers = after.Stats.SolverWorkers
+	rep.Shards = opts.shards
+	if opts.handoffs != nil {
+		rep.Handoffs = opts.handoffs()
+	}
+	rep.WrongShard = after.Stats.WrongShard
 	return rep, nil
 }
 

@@ -55,6 +55,58 @@ func TestLoadgenSelfHostedRun(t *testing.T) {
 	}
 }
 
+// TestLoadgenShardedClusterRun boots the self-hosted 4-shard cluster mode
+// and checks the cluster view of the report: traffic reached the shards, the
+// walkers' site-hopping produced cross-shard handoffs, and the wrong-shard
+// tripwire stayed silent (client and coordinators derived the same ring).
+func TestLoadgenShardedClusterRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-shards", "4",
+		"-protocol", "binary",
+		"-conns", "4",
+		"-duration", "600ms",
+		"-window", "10ms",
+		"-budget", "300",
+		"-workers", "2",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	idx := strings.Index(text, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON report in output:\n%s", text)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(text[idx:]), &rep); err != nil {
+		t.Fatalf("report not parseable: %v\n%s", err, text)
+	}
+	if rep.Shards != 4 {
+		t.Errorf("shards = %d, want 4", rep.Shards)
+	}
+	if rep.Scheduled == 0 {
+		t.Errorf("no requests scheduled: %+v", rep)
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("transport errors = %d, want 0", rep.TransportErrors)
+	}
+	if rep.Handoffs == 0 {
+		t.Error("no cross-shard handoffs; the walkers never crossed a shard boundary")
+	}
+	if rep.WrongShard != 0 {
+		t.Errorf("wrong-shard rejections = %d, want 0", rep.WrongShard)
+	}
+	// Merged over 4 shards with 2 workers each.
+	if rep.SolverWorkers != 8 {
+		t.Errorf("merged solver workers = %d, want 8", rep.SolverWorkers)
+	}
+}
+
 // TestLoadgenFlagValidation covers the argument domain checks.
 func TestLoadgenFlagValidation(t *testing.T) {
 	var out bytes.Buffer
@@ -63,6 +115,9 @@ func TestLoadgenFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-duration", "0s"}, &out); err == nil {
 		t.Error("duration=0 accepted")
+	}
+	if err := run([]string{"-shards", "2", "-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("-shards with -addr accepted")
 	}
 }
 

@@ -392,7 +392,14 @@ func TestCloseRacesConcurrentSubmits(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(5 * time.Millisecond)
+	// Close once the storm is demonstrably in flight — some submitters in,
+	// the rest still racing — instead of sleeping and hoping the scheduler
+	// got them there.
+	waitUntil(t, 30*time.Second, "submitters to enter the collector", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(entered) >= goroutines*2
+	})
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

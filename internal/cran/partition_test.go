@@ -1,0 +1,148 @@
+package cran
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/geom"
+)
+
+func TestPartitionConfigValidate(t *testing.T) {
+	good := PartitionConfig{Shards: 2, Index: 1, Assignment: []int{0, 1, 0, 1}}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		pc   PartitionConfig
+	}{
+		{"zero shards", PartitionConfig{Shards: 0, Assignment: []int{0, 0, 0, 0}}},
+		{"negative index", PartitionConfig{Shards: 2, Index: -1, Assignment: []int{0, 1, 0, 1}}},
+		{"index out of range", PartitionConfig{Shards: 2, Index: 2, Assignment: []int{0, 1, 0, 1}}},
+		{"short assignment", PartitionConfig{Shards: 2, Index: 0, Assignment: []int{0, 1}}},
+		{"assignment out of range", PartitionConfig{Shards: 2, Index: 0, Assignment: []int{0, 1, 2, 0}}},
+	}
+	for _, tc := range cases {
+		if err := tc.pc.Validate(4); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	cfg := testServerConfig()
+	cfg.Partition = &PartitionConfig{Shards: 2, Index: 0, Assignment: []int{0, 1}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("server config with mis-sized assignment accepted")
+	}
+
+	if got := good.OwnedCells(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("OwnedCells = %v, want [1 3]", got)
+	}
+}
+
+// partitionedConfig runs the 4-cell test network as shard `index` of a
+// two-shard cluster splitting the cells evenly.
+func partitionedConfig(index int) ServerConfig {
+	cfg := testServerConfig()
+	cfg.MaxBatch = 1 // every request is its own cell epoch, no concurrency needed
+	cfg.Partition = &PartitionConfig{Shards: 2, Index: index, Assignment: []int{0, 0, 1, 1}}
+	return cfg
+}
+
+// TestWrongShardTypedRejection pins the mis-routing answer on both codecs: a
+// request whose cell another shard owns is rejected with CodeWrongShard,
+// errors.Is-able against ErrWrongShard, counted in the wrong-shard tripwire,
+// and never retried as backpressure.
+func TestWrongShardTypedRejection(t *testing.T) {
+	srv := startServer(t, partitionedConfig(0))
+	sites := geom.HexLayout(4, srv.cfg.Params.InterSiteKm)
+	foreign := testRequest("u-foreign", sites[2].X, sites[2].Y) // cell 2 → shard 1
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for _, proto := range []string{ProtoJSON, ProtoBinary} {
+		var (
+			cli *Client
+			err error
+		)
+		if proto == ProtoBinary {
+			cli, err = DialBinary(srv.Addr().String())
+		} else {
+			cli, err = Dial(srv.Addr().String())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := cli.Offload(ctx, foreign)
+		if !errors.Is(err, ErrWrongShard) {
+			t.Errorf("%s: error %v, want ErrWrongShard", proto, err)
+		}
+		if resp.Code != CodeWrongShard {
+			t.Errorf("%s: code %q, want %q", proto, resp.Code, CodeWrongShard)
+		}
+		if IsBackpressureCode(resp.Code) {
+			t.Errorf("wrong_shard classified as backpressure; clients would retry a hopeless shard")
+		}
+		_ = cli.Close()
+	}
+	st := srv.Stats()
+	if st.WrongShard != 2 {
+		t.Errorf("WrongShard = %d, want 2", st.WrongShard)
+	}
+	if st.ShardIndex != 0 || st.ShardCount != 2 || st.CellsOwned != 2 {
+		t.Errorf("shard identity = index %d count %d owned %d, want 0/2/2",
+			st.ShardIndex, st.ShardCount, st.CellsOwned)
+	}
+	// An owned-cell request still schedules normally.
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	resp, err := cli.Offload(ctx, testRequest("u-home", sites[0].X+0.05, sites[0].Y))
+	if err != nil {
+		t.Fatalf("owned-cell request failed: %v", err)
+	}
+	if resp.Offload && resp.Server != 0 {
+		t.Errorf("offloaded to server %d, cell is 0", resp.Server)
+	}
+}
+
+// TestPartitionPerCellEpochs pins the epoch semantics partitioned exactness
+// rests on: epoch numbers count per cell, not per coordinator, so traffic in
+// one cell never advances another cell's stream.
+func TestPartitionPerCellEpochs(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.MaxBatch = 1
+	cfg.Partition = &PartitionConfig{Shards: 1, Index: 0, Assignment: []int{0, 0, 0, 0}}
+	srv := startServer(t, cfg)
+	sites := geom.HexLayout(4, cfg.Params.InterSiteKm)
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	offload := func(id string, cell int) OffloadResponse {
+		t.Helper()
+		resp, err := cli.Offload(ctx, testRequest(id, sites[cell].X+0.02, sites[cell].Y+0.01))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return resp
+	}
+	if got := offload("a1", 0).Epoch; got != 1 {
+		t.Errorf("first epoch of cell 0 = %d, want 1", got)
+	}
+	if got := offload("b1", 1).Epoch; got != 1 {
+		t.Errorf("first epoch of cell 1 = %d, want 1 (cell 0 traffic must not advance it)", got)
+	}
+	if got := offload("a2", 0).Epoch; got != 2 {
+		t.Errorf("second epoch of cell 0 = %d, want 2", got)
+	}
+	if got := offload("b2", 1).Epoch; got != 2 {
+		t.Errorf("second epoch of cell 1 = %d, want 2", got)
+	}
+}

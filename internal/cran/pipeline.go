@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,7 +38,13 @@ const gainStreamLabel = 0xc51
 // so deriving at collection is bit-identical to deriving at solve time, and
 // per-epoch results do not depend on which worker solves the batch or when.
 type epochBatch struct {
-	epoch     uint64
+	epoch uint64
+	// cell is the single cell this epoch schedules on partitioned
+	// coordinators (every request in the batch resolved to it at admission);
+	// -1 on unpartitioned coordinators, where one epoch spans the whole
+	// network. Partitioned epochs solve a one-site scenario and epoch numbers
+	// count per cell, not per coordinator.
+	cell      int
 	batch     []pending
 	tier      epochTier
 	solveRNG  *simrand.Source
@@ -188,6 +195,15 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 			}
 		}
 	}
+	if eb.cell >= 0 {
+		// Partitioned epochs sort by user ID before solving so the decision
+		// vector is a pure function of the request *set*, not of arrival
+		// interleaving — the differential harness compares clusters whose
+		// requests race in over many connections.
+		sort.SliceStable(eb.batch, func(i, j int) bool {
+			return eb.batch[i].req.UserID < eb.batch[j].req.UserID
+		})
+	}
 	sc, err := w.buildScenario(eb)
 	if err != nil {
 		s.failBatch(eb.batch, CodeInternal, "epoch scenario: "+err.Error())
@@ -213,12 +229,19 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 	for i := range eb.batch {
 		p := &eb.batch[i]
 		m := rep.Users[i]
+		// A partitioned epoch solves a one-site scenario, so the scheduler's
+		// server index is always 0; the wire carries the global cell ID so
+		// clients see the same decision a whole-network coordinator returns.
+		srv := m.Server
+		if eb.cell >= 0 && m.Offloaded {
+			srv = eb.cell
+		}
 		s.reply(p, OffloadResponse{
 			Version:         ProtocolVersion,
 			UserID:          p.req.UserID,
 			Tier:            tier,
 			Offload:         m.Offloaded,
-			Server:          m.Server,
+			Server:          srv,
 			Channel:         m.Channel,
 			FUsHz:           m.FUsHz,
 			ExpectedDelayS:  m.DelayS,
@@ -251,6 +274,14 @@ func (w *solveWorker) schedule(eb epochBatch, sc *scenario.Scenario) (solver.Res
 func (w *solveWorker) buildScenario(eb epochBatch) (*scenario.Scenario, error) {
 	s := w.srv
 	p := s.cfg.Params
+	sites, servers := s.sites, s.servers
+	if eb.cell >= 0 {
+		// One-cell epoch: the scenario sees only the owning site, so the
+		// solve is exactly the whole-network problem restricted to this cell
+		// (the objective couples users only through their serving site).
+		sites = s.sites[eb.cell : eb.cell+1]
+		servers = s.servers[eb.cell : eb.cell+1]
+	}
 	n := len(eb.batch)
 	if cap(w.users) < n {
 		w.users = make([]scenario.User, n)
@@ -271,13 +302,13 @@ func (w *solveWorker) buildScenario(eb epochBatch) (*scenario.Scenario, error) {
 			Lambda:     pd.req.Lambda,
 		}
 	}
-	gain, err := radio.NewGainTensorInto(w.gainBuf, p.PathLoss, w.positions, s.sites, p.NumChannels, eb.gainRNG)
+	gain, err := radio.NewGainTensorInto(w.gainBuf, p.PathLoss, w.positions, sites, p.NumChannels, eb.gainRNG)
 	if err != nil {
 		return nil, err
 	}
 	w.gainBuf = gain.Data()
 	w.sc.Users = w.users
-	w.sc.Servers = s.servers
+	w.sc.Servers = servers
 	w.sc.Gain = gain
 	w.sc.Model = p.PathLoss
 	w.sc.NumChannels = p.NumChannels

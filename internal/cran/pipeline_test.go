@@ -212,8 +212,12 @@ func TestCloseFailsQueuedBatchesUnderLoad(t *testing.T) {
 	for wave := 0; wave < 6; wave++ {
 		ps = append(ps, submitWaveAsync(t, srv, waveRequests(wave, 6))...)
 	}
-	// Let the worker pick up the first epoch, then pull the plug.
-	time.Sleep(10 * time.Millisecond)
+	// Pull the plug the moment the worker demonstrably holds an epoch, so
+	// the queue behind it still has batches for the drain-fail path.
+	waitUntil(t, 30*time.Second, "the worker to pick up an epoch", func() bool {
+		st := srv.Stats()
+		return st.InflightSolves >= 1 || st.Epochs >= 1
+	})
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,15 @@ var ErrDeadlineExceeded = errors.New("cran: epoch deadline exceeded before solve
 // decision is still useful.
 var ErrAdmissionRejected = errors.New("cran: admission rejected, estimated queue wait exceeds deadline")
 
+// ErrWrongShard is the typed rejection of a request whose position falls in
+// a cell this coordinator shard does not own. A correctly-routed cluster
+// never produces it: the shard client and the coordinator derive the cell
+// from the same position with the same layout and consult the same
+// assignment table, so the rejection only fires on mis-routing (a stale
+// client assignment, or a request sent directly to the wrong shard). It is
+// not backpressure — retrying the same shard cannot succeed.
+var ErrWrongShard = errors.New("cran: request routed to a shard that does not own its cell")
+
 // Wire error codes carried in OffloadResponse.Code. Codes classify a
 // non-empty Error so clients can react in a typed way without parsing
 // message text; CodeQueueFull, CodeAdmission, and CodeExpired are
@@ -85,6 +94,9 @@ const (
 	// CodeTooLarge: the request line or binary frame exceeded the server's
 	// configured maximum (ErrRequestTooLarge / ErrFrameTooLarge).
 	CodeTooLarge = "too_large"
+	// CodeWrongShard: the request's cell is owned by a different coordinator
+	// shard (ErrWrongShard). Not backpressure — the client must re-route.
+	CodeWrongShard = "wrong_shard"
 )
 
 // IsBackpressureCode reports whether a wire error code signals transient
@@ -227,6 +239,8 @@ func (r OffloadResponse) Err() error {
 		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrUnsupportedVersion)
 	case CodeTooLarge:
 		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrRequestTooLarge)
+	case CodeWrongShard:
+		return fmt.Errorf("cran: coordinator rejected request: %s: %w", r.Error, ErrWrongShard)
 	}
 	return fmt.Errorf("cran: coordinator rejected request: %s", r.Error)
 }

@@ -138,10 +138,13 @@ func TestCircuitBreaker(t *testing.T) {
 		t.Errorf("open breaker still dialed: %d dials, want 2", got)
 	}
 	// After the cooldown the breaker goes half-open and admits one probe.
-	time.Sleep(80 * time.Millisecond)
-	if _, err := cli.Offload(ctx, req); errors.Is(err, ErrCircuitOpen) {
-		t.Fatal("half-open breaker refused the probe")
-	}
+	// Poll rather than sleep a fixed margin: open-state calls fast-fail
+	// without dialing, so the dial count proves exactly one probe went out
+	// the moment the breaker admitted it.
+	waitUntil(t, 30*time.Second, "the breaker to go half-open", func() bool {
+		_, err := cli.Offload(ctx, req)
+		return !errors.Is(err, ErrCircuitOpen)
+	})
 	if got := dials.Load(); got != 3 {
 		t.Errorf("half-open probe did not dial: %d dials, want 3", got)
 	}
@@ -172,7 +175,12 @@ func TestCloseIdempotentUnderConcurrentUse(t *testing.T) {
 			_, _ = cli.Offload(ctx, testRequest("close-race", 0.1, 0.05))
 		}(i)
 	}
-	time.Sleep(20 * time.Millisecond) // let some calls enter the exchange
+	// Start closing only once the coordinator has admitted at least one of
+	// the calls, so the Close/Offload race is real rather than hoping 20ms
+	// of sleep put the goroutines in flight.
+	waitUntil(t, 4*time.Second, "an Offload to reach the coordinator", func() bool {
+		return srv.Stats().Requests >= 1
+	})
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
 		go func() {

@@ -89,6 +89,13 @@ type ServerConfig struct {
 	// them alongside its own (the coordinator CLI's -metrics-addr endpoint).
 	// Nil creates a private registry, reachable via Server.Metrics.
 	Metrics *obs.Registry
+	// Partition, when non-nil, runs the coordinator as one shard of a
+	// multi-coordinator cluster: it owns the cells the assignment table maps
+	// to its index, rejects everything else (CodeWrongShard), and solves each
+	// owned cell as its own epoch with RNG streams derived from (Seed, cell,
+	// cell epoch) — bit-identical decisions for any cluster size, worker
+	// count, or wire codec. See PartitionConfig and internal/shard.
+	Partition *PartitionConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -157,6 +164,11 @@ func (c ServerConfig) Validate() error {
 			return err
 		}
 	}
+	if cc.Partition != nil {
+		if err := cc.Partition.Validate(cc.Params.NumServers); err != nil {
+			return err
+		}
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -185,6 +197,10 @@ type pending struct {
 	// stops being useful (zero: never expires).
 	arrived  time.Time
 	deadline time.Time
+	// cell is the request's serving cell, resolved at admission — only
+	// meaningful on partitioned coordinators, where the collector groups
+	// pendings by cell into per-cell epochs.
+	cell int
 }
 
 // Server is a running coordinator. Create with NewServer, stop with Close.
@@ -199,6 +215,14 @@ type Server struct {
 	submit  chan pending
 	solveQ  chan epochBatch
 	started time.Time
+
+	// Partition-mode state (nil/empty on unpartitioned coordinators): the
+	// per-cell epoch counters (owned by the batch collector) and the per-cell
+	// base RNG sources the cell-epoch streams derive from. The bases are pure
+	// functions of (Seed, cell), so every shard of a same-seed cluster — and
+	// a lone K=1 coordinator — derives identical streams for a given cell.
+	cellEpochs []uint64
+	cellRNG    []*simrand.Source
 
 	// Overload-resilience state: degraded-tier solvers, the deterministic
 	// brownout controller (owned by the batch collector), and the EWMA
@@ -289,6 +313,16 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		s.servers[i] = scenario.Server{Pos: pos, FHz: cfg.Params.ServerFreqHz}
 	}
 	s.brownout = newBrownoutController(bo, cfg.QueueDepth)
+	if pc := cfg.Partition; pc != nil {
+		s.cellEpochs = make([]uint64, len(s.sites))
+		s.cellRNG = make([]*simrand.Source, len(s.sites))
+		for c := range s.cellRNG {
+			s.cellRNG[c] = s.rng.Derive(cellStreamLabel + uint64(c))
+		}
+		s.stats.shardIndex.Set(float64(pc.Index))
+		s.stats.shardCount.Set(float64(pc.Shards))
+		s.stats.cellsOwned.Set(float64(len(pc.OwnedCells())))
+	}
 	s.stats.workers.Set(float64(cfg.Workers))
 	s.wg.Add(2 + cfg.Workers)
 	go s.acceptLoop()
@@ -487,6 +521,16 @@ func rejectionCode(err error) string {
 // is returned with ok=false; otherwise the collector owns a copy of p and
 // exactly one response will later arrive through p's reply channel or sink.
 func (s *Server) admit(p *pending) (resp OffloadResponse, ok bool) {
+	if s.cfg.Partition != nil {
+		// Ownership is checked here, at the choke point shared by both wire
+		// codecs: a request for a cell another shard owns is answered typed
+		// (CodeWrongShard) before it can enter batching.
+		cell, resp, ok := s.partitionCell(p.req)
+		if !ok {
+			return resp, false
+		}
+		p.cell = cell
+	}
 	if budget := s.deadlineBudget(p.req); budget > 0 {
 		p.deadline = p.arrived.Add(budget)
 		// Admission control: when the estimated queue wait (EWMA epoch
@@ -589,7 +633,11 @@ func (s *Server) batchLoop() {
 	)
 	flush := func() {
 		if len(batch) > 0 {
-			s.enqueueEpoch(batch)
+			if s.cfg.Partition != nil {
+				s.enqueueCellEpochs(batch)
+			} else {
+				s.enqueueEpoch(batch)
+			}
 			batch = nil
 		}
 		if timer != nil {
@@ -640,6 +688,7 @@ func (s *Server) enqueueEpoch(batch []pending) {
 	// worker count or solve timing.
 	eb := epochBatch{
 		epoch:     s.epoch,
+		cell:      -1,
 		batch:     batch,
 		tier:      s.brownout.observe(len(s.solveQ)),
 		solveRNG:  s.rng.Derive(s.epoch),

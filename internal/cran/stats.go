@@ -84,6 +84,16 @@ type Stats struct {
 	// awaiting their epoch's answer (in the collector, the solve queue, or
 	// an executing solve), last sampled.
 	InflightRequests int `json:"inflightRequests"`
+	// WrongShard counts requests rejected because their cell is owned by a
+	// different coordinator shard (always zero on unpartitioned coordinators
+	// and in correctly-routed clusters; every such request also counts in
+	// Rejected).
+	WrongShard uint64 `json:"wrongShard"`
+	// ShardIndex, ShardCount, and CellsOwned describe this coordinator's
+	// place in a sharded cluster; all zero when unpartitioned.
+	ShardIndex int `json:"shardIndex"`
+	ShardCount int `json:"shardCount"`
+	CellsOwned int `json:"cellsOwned"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -136,6 +146,13 @@ type statsCollector struct {
 	framesJSON   *obs.Counter
 	framesBinary *obs.Counter
 	inflightReqs *obs.Gauge
+
+	// Shard metrics: mis-routed request rejections and this coordinator's
+	// position in the cluster (the gauges stay zero when unpartitioned).
+	wrongShardC *obs.Counter
+	shardIndex  *obs.Gauge
+	shardCount  *obs.Gauge
+	cellsOwned  *obs.Gauge
 }
 
 func newStatsCollector(reg *obs.Registry) *statsCollector {
@@ -211,6 +228,14 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 			obs.Label{Key: "codec", Value: "binary"}),
 		inflightReqs: reg.Gauge("tsajs_coordinator_inflight_requests",
 			"Admitted requests currently awaiting their epoch's answer."),
+		wrongShardC: reg.Counter("tsajs_coordinator_wrong_shard_total",
+			"Requests rejected because their cell is owned by a different shard (mis-routing tripwire; stays zero in a correctly-routed cluster)."),
+		shardIndex: reg.Gauge("tsajs_coordinator_shard_index",
+			"This coordinator's shard index in the cluster (zero when unpartitioned)."),
+		shardCount: reg.Gauge("tsajs_coordinator_shard_count",
+			"Coordinator shards in the cluster (zero when unpartitioned)."),
+		cellsOwned: reg.Gauge("tsajs_coordinator_cells_owned",
+			"Cells this shard owns under the cluster's assignment table (zero when unpartitioned)."),
 	}
 }
 
@@ -263,6 +288,14 @@ func (c *statsCollector) epochDegraded(t epochTier) {
 		c.degradedCheap.Inc()
 	}
 }
+
+// wrongShard counts one mis-routed request (it also counts in rejected, like
+// every other typed rejection answered before batching).
+func (c *statsCollector) wrongShard() {
+	c.rejected.Inc()
+	c.wrongShardC.Inc()
+}
+
 func (c *statsCollector) healthServed()    { c.healthChecks.Inc() }
 func (c *statsCollector) panicRecovered()  { c.panics.Inc() }
 func (c *statsCollector) oversizeRequest() { c.oversize.Inc() }
@@ -328,6 +361,11 @@ func (c *statsCollector) snapshot() Stats {
 	s.FramesJSON = c.framesJSON.Value()
 	s.FramesBinary = c.framesBinary.Value()
 	s.InflightRequests = int(c.inflightReqs.Value())
+
+	s.WrongShard = c.wrongShardC.Value()
+	s.ShardIndex = int(c.shardIndex.Value())
+	s.ShardCount = int(c.shardCount.Value())
+	s.CellsOwned = int(c.cellsOwned.Value())
 	return s
 }
 

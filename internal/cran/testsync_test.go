@@ -1,0 +1,22 @@
+package cran
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond every millisecond until it holds, failing the test
+// after the deadline. Timing tests use it in place of fixed sleeps: the
+// condition names the state being awaited, the poll reaches it as soon as it
+// is true on slow and fast machines alike, and the deadline turns a hang
+// into a diagnosis instead of a flake.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -87,6 +87,7 @@ const (
 	codeByteUnsupportedVersion byte = 6
 	codeByteTooLarge           byte = 7
 	codeByteRejected           byte = 8
+	codeByteWrongShard         byte = 9
 )
 
 // codeToByte maps a response's string Code to its wire byte. Unknown codes
@@ -108,6 +109,8 @@ func codeToByte(code string) byte {
 		return codeByteUnsupportedVersion
 	case CodeTooLarge:
 		return codeByteTooLarge
+	case CodeWrongShard:
+		return codeByteWrongShard
 	default:
 		return codeByteRejected
 	}
@@ -133,6 +136,8 @@ func byteToCode(b byte) (string, error) {
 		return CodeTooLarge, nil
 	case codeByteRejected:
 		return "", nil
+	case codeByteWrongShard:
+		return CodeWrongShard, nil
 	}
 	return "", fmt.Errorf("%w: unknown code byte 0x%02x", ErrMalformedFrame, b)
 }

@@ -762,10 +762,13 @@ func TestMuxCircuitBreaker(t *testing.T) {
 	if got := dials.Load(); got != 2 {
 		t.Errorf("open breaker still dialed: %d dials, want 2", got)
 	}
-	time.Sleep(80 * time.Millisecond)
-	if _, err := cli.Offload(ctx, req); errors.Is(err, ErrCircuitOpen) {
-		t.Fatal("half-open breaker refused the probe")
-	}
+	// Poll past the cooldown instead of sleeping a fixed margin: open-state
+	// calls fast-fail without dialing, so the dial count proves exactly one
+	// probe went out once the breaker admitted it.
+	waitUntil(t, 30*time.Second, "the breaker to go half-open", func() bool {
+		_, err := cli.Offload(ctx, req)
+		return !errors.Is(err, ErrCircuitOpen)
+	})
 	if got := dials.Load(); got != 3 {
 		t.Errorf("half-open probe did not dial: %d dials, want 3", got)
 	}

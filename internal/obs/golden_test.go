@@ -98,6 +98,43 @@ and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
 		Label{Key: "codec", Value: "binary"}).Add(30)
 	reg.Gauge("tsajs_coordinator_inflight_requests",
 		"Admitted requests currently awaiting their epoch's answer.").Set(5)
+
+	// The sharded-tier family: the coordinator's shard identity gauges and
+	// mis-routing tripwire (as registered by internal/cran) plus the shard
+	// client's rollup and the router's own view (as registered by
+	// internal/shard).
+	reg.Counter("tsajs_coordinator_wrong_shard_total",
+		"Requests rejected because their cell is owned by a different shard (mis-routing tripwire; stays zero in a correctly-routed cluster).")
+	reg.Gauge("tsajs_coordinator_shard_index",
+		"This coordinator's shard index in the cluster (zero when unpartitioned).").Set(1)
+	reg.Gauge("tsajs_coordinator_shard_count",
+		"Coordinator shards in the cluster (zero when unpartitioned).").Set(4)
+	reg.Gauge("tsajs_coordinator_cells_owned",
+		"Cells this shard owns under the cluster's assignment table (zero when unpartitioned).").Set(3)
+	reg.Counter("tsajs_shard_requests_total",
+		"Requests routed, by owning shard.",
+		Label{Key: "shard", Value: "0"}).Add(17)
+	reg.Counter("tsajs_shard_requests_total",
+		"Requests routed, by owning shard.",
+		Label{Key: "shard", Value: "1"}).Add(13)
+	reg.Counter("tsajs_shard_handoffs_total",
+		"Requests routed to a different shard than the same user's previous request (mobility crossing a shard boundary).").Add(9)
+	shardLat := reg.Histogram("tsajs_shard_latency_seconds",
+		"Route-to-answer latency per request through the shard fan-out.", DefaultLatencyEdges)
+	for _, v := range []float64{0.001, 0.008, 0.02} {
+		shardLat.Observe(v)
+	}
+	reg.Gauge("tsajs_shard_inflight_requests",
+		"Requests currently in flight through the shard fan-out.").Set(2)
+	reg.Counter("tsajs_router_requests_total",
+		"Requests forwarded through the router.").Add(31)
+	routerLat := reg.Histogram("tsajs_router_latency_seconds",
+		"Receive-to-answer latency per request through the router.", DefaultLatencyEdges)
+	for _, v := range []float64{0.003, 0.016} {
+		routerLat.Observe(v)
+	}
+	reg.Gauge("tsajs_router_inflight_requests",
+		"Requests currently being forwarded.").Set(1)
 	return reg
 }
 
@@ -141,6 +178,38 @@ func TestGoldenJSON(t *testing.T) {
 // comes from sorting, not registration history.
 func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
 	reg := NewRegistry()
+	reg.Gauge("tsajs_router_inflight_requests",
+		"Requests currently being forwarded.").Set(1)
+	routerLat := reg.Histogram("tsajs_router_latency_seconds",
+		"Receive-to-answer latency per request through the router.", DefaultLatencyEdges)
+	for _, v := range []float64{0.003, 0.016} {
+		routerLat.Observe(v)
+	}
+	reg.Counter("tsajs_router_requests_total",
+		"Requests forwarded through the router.").Add(31)
+	reg.Gauge("tsajs_shard_inflight_requests",
+		"Requests currently in flight through the shard fan-out.").Set(2)
+	shardLat := reg.Histogram("tsajs_shard_latency_seconds",
+		"Route-to-answer latency per request through the shard fan-out.", DefaultLatencyEdges)
+	for _, v := range []float64{0.001, 0.008, 0.02} {
+		shardLat.Observe(v)
+	}
+	reg.Counter("tsajs_shard_handoffs_total",
+		"Requests routed to a different shard than the same user's previous request (mobility crossing a shard boundary).").Add(9)
+	reg.Counter("tsajs_shard_requests_total",
+		"Requests routed, by owning shard.",
+		Label{Key: "shard", Value: "1"}).Add(13)
+	reg.Counter("tsajs_shard_requests_total",
+		"Requests routed, by owning shard.",
+		Label{Key: "shard", Value: "0"}).Add(17)
+	reg.Gauge("tsajs_coordinator_cells_owned",
+		"Cells this shard owns under the cluster's assignment table (zero when unpartitioned).").Set(3)
+	reg.Gauge("tsajs_coordinator_shard_count",
+		"Coordinator shards in the cluster (zero when unpartitioned).").Set(4)
+	reg.Gauge("tsajs_coordinator_shard_index",
+		"This coordinator's shard index in the cluster (zero when unpartitioned).").Set(1)
+	reg.Counter("tsajs_coordinator_wrong_shard_total",
+		"Requests rejected because their cell is owned by a different shard (mis-routing tripwire; stays zero in a correctly-routed cluster).")
 	reg.Gauge("tsajs_coordinator_inflight_requests",
 		"Admitted requests currently awaiting their epoch's answer.").Set(5)
 	reg.Counter("tsajs_coordinator_frames_total",

@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/obs"
+)
+
+// ClientConfig parametrizes a shard-aware client.
+type ClientConfig struct {
+	// Addrs are the shard coordinators' addresses; index i is shard i, so
+	// len(Addrs) is the cluster size K.
+	Addrs []string
+	// Sites are the cell sites of the network layout, in cell-index order —
+	// the same geom.HexLayout the coordinators were built with. Requests are
+	// routed by the nearest site to their position, exactly the cell the
+	// coordinator itself resolves.
+	Sites []geom.Point
+	// Assignment is the explicit cell→shard table, len == len(Sites). Nil
+	// derives it from the consistent-hash ring over len(Addrs) shards — the
+	// default every cluster component agrees on.
+	Assignment []int
+	// Replicas is the ring vnode count used when Assignment is derived;
+	// <= 0 selects DefaultReplicas.
+	Replicas int
+	// Resilience is the per-shard connection template: each shard gets its
+	// own cran client built from it, so retry, backoff, and circuit-breaker
+	// state are per shard — one dead shard trips only its own breaker while
+	// the rest of the cluster keeps serving. The backoff jitter seed is
+	// decorrelated per shard. Protocol selects the wire codec for the whole
+	// fan-out (binary multiplexes all in-flight requests to a shard over one
+	// connection).
+	Resilience cran.ResilienceConfig
+	// Metrics, when non-nil, receives the rollup family (tsajs_shard_*:
+	// requests by shard, handoffs, latency, inflight). Nil uses a private
+	// registry reachable via Client.Metrics.
+	Metrics *obs.Registry
+}
+
+// Client routes offload requests to the coordinator shard owning the
+// caller's cell. It is safe for concurrent use: with the binary protocol the
+// per-shard connections multiplex all concurrent calls, with JSON they
+// serialize per shard. Cross-shard handoff — the same user routed to a
+// different shard than last time because mobility carried it over a cell
+// boundary — is detected here and counted.
+type Client struct {
+	sites      []geom.Point
+	assignment []int
+	shards     []*cran.Client
+	m          *rollup
+	reg        *obs.Registry
+
+	// last tracks each user's previous shard (UserID → int) for handoff
+	// detection. Entries live as long as the client; the coordinator itself
+	// keeps no per-user state.
+	last sync.Map
+}
+
+// NewClient builds the per-shard connections (lazily dialed) and the
+// routing table.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("shard: client needs at least one shard address")
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("shard: client needs the cell site layout")
+	}
+	assignment := cfg.Assignment
+	if assignment == nil {
+		ring, err := NewRing(len(cfg.Addrs), cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		assignment = ring.Assignment(len(cfg.Sites))
+	}
+	if len(assignment) != len(cfg.Sites) {
+		return nil, fmt.Errorf("shard: assignment covers %d cells, layout has %d", len(assignment), len(cfg.Sites))
+	}
+	for c, s := range assignment {
+		if s < 0 || s >= len(cfg.Addrs) {
+			return nil, fmt.Errorf("shard: cell %d assigned to shard %d outside [0,%d)", c, s, len(cfg.Addrs))
+		}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Client{
+		sites:      cfg.Sites,
+		assignment: assignment,
+		shards:     make([]*cran.Client, len(cfg.Addrs)),
+		m:          newRollup(reg, "tsajs_shard", len(cfg.Addrs)),
+		reg:        reg,
+	}
+	for i, addr := range cfg.Addrs {
+		rc := cfg.Resilience
+		if rc.Seed == 0 {
+			rc.Seed = 1
+		}
+		// Decorrelate backoff jitter across shards: a cluster-wide brownout
+		// should not synchronize every shard's retries.
+		rc.Seed += uint64(i) * 0x9e3779b97f4a7c15
+		cc, err := cran.NewClient(addr, rc)
+		if err != nil {
+			for _, prev := range c.shards[:i] {
+				_ = prev.Close()
+			}
+			return nil, err
+		}
+		c.shards[i] = cc
+	}
+	return c, nil
+}
+
+// Shards returns the cluster size K.
+func (c *Client) Shards() int { return len(c.shards) }
+
+// Assignment returns the cell→shard table the client routes by. The caller
+// must not mutate it.
+func (c *Client) Assignment() []int { return c.assignment }
+
+// Metrics returns the registry holding the tsajs_shard_* rollup.
+func (c *Client) Metrics() *obs.Registry { return c.reg }
+
+// Route resolves a position to its serving cell and owning shard.
+func (c *Client) Route(pos geom.Point) (cell, shard int) {
+	cell, _ = geom.Nearest(pos, c.sites)
+	return cell, c.assignment[cell]
+}
+
+// Offload routes the request to the shard owning its cell and returns that
+// coordinator's decision. The per-shard client's full resilience stack
+// (retry, breaker, degradation) applies; handoffs are detected by comparing
+// against the same user's previous route.
+func (c *Client) Offload(ctx context.Context, req cran.OffloadRequest) (cran.OffloadResponse, error) {
+	_, sh := c.Route(req.Pos)
+	if req.UserID != "" {
+		if prev, ok := c.last.Load(req.UserID); ok && prev.(int) != sh {
+			c.m.handoffs.Inc()
+		}
+		c.last.Store(req.UserID, sh)
+	}
+	c.m.inflight.Add(1)
+	start := time.Now()
+	resp, err := c.shards[sh].Offload(ctx, req)
+	c.m.latency.Observe(time.Since(start).Seconds())
+	c.m.inflight.Add(-1)
+	c.m.requests[sh].Inc()
+	return resp, err
+}
+
+// Handoffs returns the number of cross-shard handoffs observed so far.
+func (c *Client) Handoffs() uint64 { return c.m.handoffs.Value() }
+
+// Requests returns the number of requests routed to the given shard.
+func (c *Client) Requests(shard int) uint64 { return c.m.requests[shard].Value() }
+
+// Health probes every shard concurrently and merges the answers into one
+// cluster view: counters sum, batch and latency means are weighted by epoch
+// count, uptime is the youngest shard's. Any shard failing its probe fails
+// the whole call — a cluster with a dead shard is not healthy.
+func (c *Client) Health(ctx context.Context) (cran.Health, error) {
+	hs := make([]cran.Health, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hs[i], errs[i] = c.shards[i].Health(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return cran.Health{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return mergeHealth(hs), nil
+}
+
+// Close closes every per-shard connection, returning the first error.
+func (c *Client) Close() error {
+	var first error
+	for _, sc := range c.shards {
+		if err := sc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeHealth folds per-shard health payloads into a cluster aggregate.
+func mergeHealth(hs []cran.Health) cran.Health {
+	if len(hs) == 0 {
+		return cran.Health{}
+	}
+	out := hs[0]
+	var (
+		batchW   = hs[0].Stats.MeanBatch * float64(hs[0].Stats.Epochs)
+		latW     = float64(hs[0].Stats.MeanEpochLatency) * float64(hs[0].Stats.Epochs)
+		epochSum = hs[0].Stats.Epochs
+	)
+	for _, h := range hs[1:] {
+		if h.UptimeS < out.UptimeS {
+			out.UptimeS = h.UptimeS
+		}
+		out.ActiveConns += h.ActiveConns
+		a, b := &out.Stats, h.Stats
+		a.Epochs += b.Epochs
+		a.Requests += b.Requests
+		a.Rejected += b.Rejected
+		a.Offloaded += b.Offloaded
+		a.Local += b.Local
+		if b.MaxBatch > a.MaxBatch {
+			a.MaxBatch = b.MaxBatch
+		}
+		a.TotalSolveTime += b.TotalSolveTime
+		a.UtilitySum += b.UtilitySum
+		a.HealthChecks += b.HealthChecks
+		a.PanicsRecovered += b.PanicsRecovered
+		a.OversizeRequests += b.OversizeRequests
+		a.ThrottledConns += b.ThrottledConns
+		a.EpochsRejected += b.EpochsRejected
+		a.QueueDepth += b.QueueDepth
+		a.InflightSolves += b.InflightSolves
+		a.SolverWorkers += b.SolverWorkers
+		a.EpochsDegradedTruncated += b.EpochsDegradedTruncated
+		a.EpochsDegradedCheap += b.EpochsDegradedCheap
+		a.EpochsExpired += b.EpochsExpired
+		a.ShedQueueFull += b.ShedQueueFull
+		a.ShedAdmission += b.ShedAdmission
+		a.ShedExpired += b.ShedExpired
+		a.FullSolvesExpired += b.FullSolvesExpired
+		if b.QueueWaitEstimate > a.QueueWaitEstimate {
+			a.QueueWaitEstimate = b.QueueWaitEstimate
+		}
+		a.BytesRead += b.BytesRead
+		a.BytesWritten += b.BytesWritten
+		a.FramesJSON += b.FramesJSON
+		a.FramesBinary += b.FramesBinary
+		a.InflightRequests += b.InflightRequests
+		a.WrongShard += b.WrongShard
+		a.CellsOwned += b.CellsOwned
+		batchW += b.MeanBatch * float64(b.Epochs)
+		latW += float64(b.MeanEpochLatency) * float64(b.Epochs)
+		epochSum += b.Epochs
+	}
+	// The merged shard identity is meaningless; report the cluster size.
+	out.Stats.ShardIndex = 0
+	out.Stats.ShardCount = len(hs)
+	if epochSum > 0 {
+		out.Stats.MeanBatch = batchW / float64(epochSum)
+		out.Stats.MeanEpochLatency = time.Duration(latW / float64(epochSum))
+	}
+	return out
+}

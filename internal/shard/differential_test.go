@@ -1,0 +1,298 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// The differential scenario: the paper's 9-cell hexagonal layout with three
+// users per cell, every user well inside its cell's hexagon. Cell-partitioned
+// solving is exact for it by construction, so every cluster shape must return
+// bit-identical decisions.
+
+const (
+	diffCells    = 9
+	diffPerCell  = 3
+	diffSeed     = 42
+	diffInterKm  = 1.0
+	diffChannels = 2
+)
+
+func diffParams() scenario.Params {
+	p := scenario.DefaultParams()
+	p.NumServers = diffCells
+	p.NumChannels = diffChannels
+	p.InterSiteKm = diffInterKm
+	return p
+}
+
+func diffSites() []geom.Point { return geom.HexLayout(diffCells, diffInterKm) }
+
+// diffRequests builds round 1: three users per cell at fixed offsets from
+// the cell site (all within the 0.5 km inradius, so Nearest resolves to the
+// intended cell).
+func diffRequests() []cran.OffloadRequest {
+	sites := diffSites()
+	offsets := []geom.Point{{X: 0.05, Y: 0.03}, {X: -0.08, Y: 0.1}, {X: 0.12, Y: -0.07}}
+	reqs := make([]cran.OffloadRequest, 0, diffCells*diffPerCell)
+	for cell := 0; cell < diffCells; cell++ {
+		for k := 0; k < diffPerCell; k++ {
+			reqs = append(reqs, cran.OffloadRequest{
+				UserID: fmt.Sprintf("u-%d-%d", cell, k),
+				Pos:    geom.Point{X: sites[cell].X + offsets[k].X, Y: sites[cell].Y + offsets[k].Y},
+				Task:   task.Task{DataBits: 420 * 8 * 1024, WorkCycles: 3000e6},
+			})
+		}
+	}
+	return reqs
+}
+
+// diffRequestsRound2 applies position swaps between users of different
+// cells to round 1. A swap moves each user into the other's cell, modelling
+// mobility handoff, while preserving every cell's user count — so each
+// shard's MaxBatch still flushes exactly on its last arrival, for any
+// assignment table.
+func diffRequestsRound2() []cran.OffloadRequest {
+	reqs := diffRequests()
+	idx := func(cell, k int) int { return cell*diffPerCell + k }
+	swaps := [][2]int{
+		{idx(0, 0), idx(4, 1)},
+		{idx(1, 2), idx(7, 0)},
+		{idx(2, 1), idx(8, 2)},
+		{idx(3, 0), idx(5, 1)},
+		{idx(6, 2), idx(0, 1)},
+	}
+	for _, sw := range swaps {
+		reqs[sw[0]].Pos, reqs[sw[1]].Pos = reqs[sw[1]].Pos, reqs[sw[0]].Pos
+	}
+	return reqs
+}
+
+// decision is the comparable projection of a scheduling response.
+type decision struct {
+	Offload         bool
+	Server, Channel int
+	FUsHz           float64
+	DelayS, EnergyJ float64
+	Utility         float64
+	Epoch           uint64
+	Tier            string
+}
+
+func toDecision(resp cran.OffloadResponse) decision {
+	// The grant fields are meaningful only for offloaded decisions: the JSON
+	// codec carries the scheduler's local marker (-1) while the binary codec
+	// omits the fields entirely (decoding as 0) — a pre-existing wire-format
+	// difference, normalized away so the comparison is about decisions.
+	if !resp.Offload {
+		resp.Server, resp.Channel = 0, 0
+	}
+	return decision{
+		Offload: resp.Offload,
+		Server:  resp.Server,
+		Channel: resp.Channel,
+		FUsHz:   resp.FUsHz,
+		DelayS:  resp.ExpectedDelayS,
+		EnergyJ: resp.ExpectedEnergyJ,
+		Utility: resp.Utility,
+		Epoch:   resp.Epoch,
+		Tier:    resp.Tier,
+	}
+}
+
+// diffCluster is a running K-shard coordinator cluster for the harness.
+type diffCluster struct {
+	servers    []*cran.Server
+	addrs      []string
+	assignment []int
+}
+
+// startDiffCluster boots K partitioned coordinators sharing the same Params
+// and Seed. Each shard's MaxBatch is exactly the number of requests it will
+// receive per round (diffPerCell per owned cell), so the collector flushes
+// deterministically on the last arrival and the 1-hour batch window never
+// decides epoch composition.
+func startDiffCluster(t *testing.T, k, workers int, assignment []int) *diffCluster {
+	t.Helper()
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 1200
+	c := &diffCluster{assignment: assignment}
+	for i := 0; i < k; i++ {
+		owned := len(Owned(assignment, i))
+		maxBatch := diffPerCell * owned
+		if maxBatch == 0 {
+			maxBatch = 1 // shard owns no cells; it will simply idle
+		}
+		cfg := cran.ServerConfig{
+			Params:      diffParams(),
+			BatchWindow: time.Hour,
+			MaxBatch:    maxBatch,
+			TTSA:        &ttsaCfg,
+			Seed:        diffSeed,
+			Workers:     workers,
+			QueueDepth:  32,
+			Partition:   &cran.PartitionConfig{Shards: k, Index: i, Assignment: assignment},
+		}
+		srv, err := cran.NewServer("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		c.servers = append(c.servers, srv)
+		c.addrs = append(c.addrs, srv.Addr().String())
+	}
+	return c
+}
+
+// runRound fans one round of requests concurrently at the cluster over the
+// given protocol and collects each user's decision. The binary leg goes
+// through the shard fan-out client (multiplexed per-shard connections); the
+// JSON leg opens one connection per request, since a JSON connection carries
+// one request per round-trip and the epoch only flushes once every request
+// of a shard has arrived.
+func runRound(t *testing.T, c *diffCluster, protocol string, reqs []cran.OffloadRequest) map[string]decision {
+	t.Helper()
+	sites := diffSites()
+	out := make(map[string]decision, len(reqs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	var cli *Client
+	if protocol == cran.ProtoBinary {
+		var err error
+		cli, err = NewClient(ClientConfig{
+			Addrs:      c.addrs,
+			Sites:      sites,
+			Assignment: c.assignment,
+			Resilience: cran.ResilienceConfig{Protocol: cran.ProtoBinary, MaxAttempts: 1, BreakerThreshold: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = cli.Close() }()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req cran.OffloadRequest) {
+			defer wg.Done()
+			var resp cran.OffloadResponse
+			var err error
+			if cli != nil {
+				resp, err = cli.Offload(ctx, req)
+			} else {
+				cell, _ := geom.Nearest(req.Pos, sites)
+				conn, derr := cran.Dial(c.addrs[c.assignment[cell]])
+				if derr != nil {
+					err = derr
+				} else {
+					resp, err = conn.Offload(ctx, req)
+					_ = conn.Close()
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Errorf("user %s: %v", req.UserID, err)
+				return
+			}
+			cell, _ := geom.Nearest(req.Pos, sites)
+			if resp.Offload && resp.Server != cell {
+				t.Errorf("user %s: offloaded to server %d, cell is %d", req.UserID, resp.Server, cell)
+			}
+			out[req.UserID] = toDecision(resp)
+		}(req)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("round failed")
+	}
+	return out
+}
+
+// runMatrixCase runs both rounds against a fresh cluster and returns the
+// merged per-user decision map keyed "round/user".
+func runMatrixCase(t *testing.T, k, workers int, protocol string) map[string]decision {
+	t.Helper()
+	ring, err := NewRing(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := startDiffCluster(t, k, workers, ring.Assignment(diffCells))
+	out := make(map[string]decision, 2*diffCells*diffPerCell)
+	for user, d := range runRound(t, cluster, protocol, diffRequests()) {
+		out["r1/"+user] = d
+	}
+	for user, d := range runRound(t, cluster, protocol, diffRequestsRound2()) {
+		out["r2/"+user] = d
+	}
+	// Every cell served users in both rounds, so every decision's per-cell
+	// epoch number equals its round.
+	for key, d := range out {
+		want := uint64(1)
+		if key[1] == '2' {
+			want = 2
+		}
+		if d.Epoch != want {
+			t.Errorf("%s: epoch %d, want %d", key, d.Epoch, want)
+		}
+	}
+	for i, srv := range cluster.servers {
+		if ws := srv.Stats().WrongShard; ws != 0 {
+			t.Errorf("shard %d rejected %d requests as wrong-shard in a correctly-routed run", i, ws)
+		}
+	}
+	return out
+}
+
+// TestDifferentialShardingExact is the sharding-correctness centerpiece:
+// K=1 and K=4 clusters of the same seeded network, driven across solver
+// worker counts 1 and 4 and both wire codecs, return bit-identical per-user
+// decisions (placement, grants, expected delay/energy, utility, and per-cell
+// epoch numbers) over two rounds with cross-cell user movement in between.
+func TestDifferentialShardingExact(t *testing.T) {
+	type variant struct {
+		k, workers int
+		protocol   string
+	}
+	var variants []variant
+	for _, k := range []int{1, 4} {
+		for _, w := range []int{1, 4} {
+			for _, proto := range []string{cran.ProtoJSON, cran.ProtoBinary} {
+				variants = append(variants, variant{k: k, workers: w, protocol: proto})
+			}
+		}
+	}
+	ref := runMatrixCase(t, variants[0].k, variants[0].workers, variants[0].protocol)
+	if len(ref) != 2*diffCells*diffPerCell {
+		t.Fatalf("reference run answered %d decisions, want %d", len(ref), 2*diffCells*diffPerCell)
+	}
+	for _, v := range variants[1:] {
+		v := v
+		name := fmt.Sprintf("K%d_workers%d_%s", v.k, v.workers, v.protocol)
+		t.Run(name, func(t *testing.T) {
+			got := runMatrixCase(t, v.k, v.workers, v.protocol)
+			if len(got) != len(ref) {
+				t.Fatalf("answered %d decisions, want %d", len(got), len(ref))
+			}
+			for key, want := range ref {
+				if d, ok := got[key]; !ok {
+					t.Errorf("%s: missing decision", key)
+				} else if d != want {
+					t.Errorf("%s: decision diverged\n got %+v\nwant %+v", key, d, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"testing"
+)
+
+// FuzzShardRing drives the consistent-hash ring invariants over arbitrary
+// cluster shapes: every cell maps to exactly one in-range shard, the mapping
+// is deterministic across independently built rings (there are no maps to
+// iterate, but the property is pinned regardless), and growing the cluster
+// by one shard moves cells only to the new shard — equivalently, removing a
+// shard re-homes only that shard's cells.
+func FuzzShardRing(f *testing.F) {
+	f.Add(uint16(1), uint16(0), uint64(0))
+	f.Add(uint16(4), uint16(64), uint64(9))
+	f.Add(uint16(7), uint16(3), uint64(12345))
+	f.Add(uint16(255), uint16(200), uint64(1<<60))
+	f.Fuzz(func(t *testing.T, shardsRaw, replicasRaw uint16, cellRaw uint64) {
+		shards := int(shardsRaw%32) + 1   // 1..32
+		replicas := int(replicasRaw % 96) // 0 selects the default
+		const cells = 128
+
+		r1, err := NewRing(shards, replicas)
+		if err != nil {
+			t.Fatalf("NewRing(%d,%d): %v", shards, replicas, err)
+		}
+		r2, err := NewRing(shards, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, a2 := r1.Assignment(cells), r2.Assignment(cells)
+		for c := range a1 {
+			if a1[c] < 0 || a1[c] >= shards {
+				t.Fatalf("cell %d → shard %d outside [0,%d)", c, a1[c], shards)
+			}
+			if a1[c] != a2[c] {
+				t.Fatalf("cell %d: identical rings disagree (%d vs %d)", c, a1[c], a2[c])
+			}
+			if got := r1.Shard(c); got != a1[c] {
+				t.Fatalf("cell %d: Shard()=%d but Assignment=%d", c, got, a1[c])
+			}
+		}
+
+		// An arbitrary (possibly huge) cell ID still resolves in range.
+		wild := int(cellRaw % (1 << 30))
+		if got := r1.Shard(wild); got < 0 || got >= shards {
+			t.Fatalf("Shard(%d)=%d outside [0,%d)", wild, got, shards)
+		}
+
+		// Monotone growth: K→K+1 moves cells only to the new shard.
+		grown, err := NewRing(shards+1, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag := grown.Assignment(cells)
+		for c := range a1 {
+			if a1[c] != ag[c] && ag[c] != shards {
+				t.Fatalf("grow %d→%d: cell %d moved %d→%d, not to the new shard",
+					shards, shards+1, c, a1[c], ag[c])
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/mobility"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/task"
+)
+
+// TestConcurrentCrossShardHandoff is the -race regression for the handoff
+// path: random-waypoint walkers move across cell (and therefore shard)
+// boundaries while epochs are in flight on every shard, all multiplexed
+// through one shard client. Invariants:
+//
+//   - answered exactly once: every submitted request gets exactly one
+//     response (decision or typed backpressure), never zero, never two;
+//   - no decision for a user on two shards in the same epoch: each request
+//     is solved by the single shard owning its cell — the offloaded server
+//     always lies in the routed shard's ownership, and no coordinator ever
+//     rejects a request as wrong-shard (which is the only way a request
+//     could have reached a shard that did not own it);
+//   - mobility actually produced cross-shard handoffs, so the test cannot
+//     pass vacuously.
+func TestConcurrentCrossShardHandoff(t *testing.T) {
+	const (
+		k       = 3
+		walkers = 8
+	)
+	rounds := 30
+	if testing.Short() {
+		rounds = 12
+	}
+
+	ring, err := NewRing(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := ring.Assignment(diffCells)
+
+	ttsaCfg := core.DefaultConfig()
+	ttsaCfg.MaxEvaluations = 400
+	servers := make([]*cran.Server, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		srv, err := cran.NewServer("127.0.0.1:0", cran.ServerConfig{
+			Params:      diffParams(),
+			BatchWindow: 2 * time.Millisecond,
+			MaxBatch:    walkers,
+			TTSA:        &ttsaCfg,
+			Seed:        diffSeed,
+			Workers:     2,
+			QueueDepth:  64,
+			Partition:   &cran.PartitionConfig{Shards: k, Index: i, Assignment: assignment},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers[i] = srv
+		addrs[i] = srv.Addr().String()
+	}
+
+	cli, err := NewClient(ClientConfig{
+		Addrs:      addrs,
+		Sites:      diffSites(),
+		Assignment: assignment,
+		Resilience: cran.ResilienceConfig{Protocol: cran.ProtoBinary, MaxAttempts: 1, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	// Fast vehicular walkers over the full 9-cell layout: at 300–600 km/h a
+	// 10-second step moves a walker ~1–1.7 km, a cell diameter or more, so
+	// cross-shard handoffs happen constantly.
+	pop, err := mobility.New(mobility.Config{
+		Sites:              diffSites(),
+		CellCircumradiusKm: geom.HexCircumradius(diffInterKm),
+		SpeedKmHMin:        300,
+		SpeedKmHMax:        600,
+	}, walkers, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walker positions per round are precomputed (the population is not
+	// concurrency-safe); the concurrency under test is the request fan-out.
+	positions := make([][]geom.Point, rounds)
+	for r := range positions {
+		positions[r] = make([]geom.Point, walkers)
+		for wkr := 0; wkr < walkers; wkr++ {
+			positions[r][wkr] = pop.Position(wkr)
+		}
+		if err := pop.Step(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var (
+		mu        sync.Mutex
+		responses = make(map[string]int) // request key → responses seen
+		answered  int
+	)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < walkers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			userID := fmt.Sprintf("walker-%d", wkr)
+			for r := 0; r < rounds; r++ {
+				req := cran.OffloadRequest{
+					UserID: userID,
+					Pos:    positions[r][wkr],
+					Task:   task.Task{DataBits: 420 * 8 * 1024, WorkCycles: 3000e6},
+				}
+				_, routed := cli.Route(req.Pos)
+				resp, err := cli.Offload(ctx, req)
+				key := fmt.Sprintf("%s/%d", userID, r)
+				mu.Lock()
+				responses[key]++
+				if err != nil {
+					if !cran.IsBackpressureCode(resp.Code) && resp.Code != cran.CodeShutdown {
+						t.Errorf("%s: unexpected error %v (code %q)", key, err, resp.Code)
+					}
+				} else {
+					answered++
+					if resp.Offload && assignment[resp.Server] != routed {
+						t.Errorf("%s: decision from shard %d but routed to shard %d — one user on two shards",
+							key, assignment[resp.Server], routed)
+					}
+				}
+				mu.Unlock()
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	for key, n := range responses {
+		if n != 1 {
+			t.Errorf("%s: %d responses, want exactly one", key, n)
+		}
+	}
+	if want := walkers * rounds; len(responses) != want {
+		t.Errorf("%d requests answered, want %d", len(responses), want)
+	}
+	if answered == 0 {
+		t.Error("no request produced a decision; overload drowned the test")
+	}
+	for i, srv := range servers {
+		if ws := srv.Stats().WrongShard; ws != 0 {
+			t.Errorf("shard %d saw %d wrong-shard requests — client and coordinator routing diverged", i, ws)
+		}
+	}
+	if cli.Handoffs() == 0 {
+		t.Error("no cross-shard handoff observed; mobility did not exercise the boundary")
+	}
+}

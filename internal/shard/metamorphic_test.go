@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/cran"
+)
+
+// TestMetamorphicShardRelabelInvariance pins shard-index irrelevance:
+// permuting which shard index owns which cells (and starting the permuted
+// cluster's coordinators accordingly) changes nothing observable — every
+// per-user decision and the aggregate utility are bit-identical. Decisions
+// depend on (Seed, cell, cell epoch, request set) alone, never on the label
+// of the shard that happened to solve them.
+func TestMetamorphicShardRelabelInvariance(t *testing.T) {
+	const k = 4
+	ring, err := NewRing(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ring.Assignment(diffCells)
+
+	// σ relabels shard indices; the permuted cluster assigns cell c to shard
+	// σ(base[c]).
+	sigma := [k]int{2, 0, 3, 1}
+	permuted := make([]int, len(base))
+	for c, s := range base {
+		permuted[c] = sigma[s]
+	}
+
+	run := func(assignment []int) map[string]decision {
+		cluster := startDiffCluster(t, k, 2, assignment)
+		out := make(map[string]decision)
+		for user, d := range runRound(t, cluster, cran.ProtoBinary, diffRequests()) {
+			out["r1/"+user] = d
+		}
+		for user, d := range runRound(t, cluster, cran.ProtoBinary, diffRequestsRound2()) {
+			out["r2/"+user] = d
+		}
+		return out
+	}
+
+	ref := run(base)
+	got := run(permuted)
+	if len(got) != len(ref) {
+		t.Fatalf("permuted cluster answered %d decisions, want %d", len(got), len(ref))
+	}
+	var refUtil, gotUtil float64
+	for key, want := range ref {
+		d, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing under permuted labels", key)
+			continue
+		}
+		if d != want {
+			t.Errorf("%s: decision changed under shard relabel\n got %+v\nwant %+v", key, d, want)
+		}
+		refUtil += want.Utility
+		gotUtil += d.Utility
+	}
+	if refUtil != gotUtil {
+		t.Errorf("aggregate utility changed under shard relabel: %v vs %v", gotUtil, refUtil)
+	}
+	if refUtil == 0 {
+		t.Error("aggregate utility is zero; scenario too easy to detect divergence")
+	}
+}

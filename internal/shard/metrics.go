@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/obs"
+)
+
+// rollup is the per-cluster metrics family shared by the shard client and
+// the router: one requests counter per shard (labelled by shard index), the
+// cross-shard handoff counter, a routing latency histogram, and the gauge of
+// requests currently in flight through the fan-out. All updates are
+// lock-free registry atomics; registering the same family twice in one
+// registry returns the same series, so every client of a process shares one
+// rollup.
+type rollup struct {
+	requests []*obs.Counter
+	handoffs *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+}
+
+// newRollup registers the family under the given prefix ("tsajs_shard" for
+// the client, "tsajs_router" for the router's own view).
+func newRollup(reg *obs.Registry, prefix string, shards int) *rollup {
+	r := &rollup{
+		handoffs: reg.Counter(prefix+"_handoffs_total",
+			"Requests routed to a different shard than the same user's previous request (mobility crossing a shard boundary)."),
+		latency: reg.Histogram(prefix+"_latency_seconds",
+			"Route-to-answer latency per request through the shard fan-out.", obs.DefaultLatencyEdges),
+		inflight: reg.Gauge(prefix+"_inflight_requests",
+			"Requests currently in flight through the shard fan-out."),
+	}
+	r.requests = make([]*obs.Counter, shards)
+	for i := range r.requests {
+		r.requests[i] = reg.Counter(prefix+"_requests_total",
+			"Requests routed, by owning shard.",
+			obs.Label{Key: "shard", Value: fmt.Sprintf("%d", i)})
+	}
+	return r
+}

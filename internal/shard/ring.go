@@ -1,0 +1,134 @@
+// Package shard partitions the coordinator tier: a consistent-hash ring maps
+// hexagonal cell IDs to K coordinator shards, a shard-aware client routes
+// offload requests by the caller's position (fanning out over per-shard
+// resilient connections), and a router exposes the whole cluster behind a
+// single JSON endpoint.
+//
+// The shard key is the cell index, not the user ID: the TSAJS objective is
+// separable per cell (each user's delay/energy depend only on its serving
+// site), so partitioning by cell keeps every shard's solve exact rather than
+// approximate. Mobility moves users across cell boundaries between epochs,
+// which the client observes as cross-shard handoff.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual nodes per shard on the ring.
+// 64 vnodes keep the worst-case ownership imbalance for small cell counts
+// acceptable while making ring construction cheap enough to do per process.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring mapping cell IDs to shard
+// indices. Construction and lookup are fully deterministic: vnode positions
+// come from a fixed 64-bit hash of (shard, replica) and ties are broken by
+// shard index, so two processes building a Ring with the same parameters
+// always agree on every assignment regardless of map iteration order (there
+// are no maps involved).
+type Ring struct {
+	shards   int
+	replicas int
+	points   []ringPoint // sorted by (hash, shard)
+}
+
+// NewRing builds a ring with the given shard count and vnodes per shard.
+// replicas <= 0 selects DefaultReplicas.
+func NewRing(shards, replicas int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one shard, got %d", shards)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		shards:   shards,
+		replicas: replicas,
+		points:   make([]ringPoint, 0, shards*replicas),
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard count the ring was built with.
+func (r *Ring) Shards() int { return r.shards }
+
+// Replicas returns the vnode count per shard.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Shard returns the shard owning the given cell: the first vnode clockwise
+// of the cell's hash.
+func (r *Ring) Shard(cell int) int {
+	h := cellHash(cell)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return r.points[i].shard
+}
+
+// Assignment materialises the cell→shard table for numCells cells. The
+// partitioned coordinator and the shard client both consume this explicit
+// table so their views of ownership cannot drift.
+func (r *Ring) Assignment(numCells int) []int {
+	a := make([]int, numCells)
+	for c := range a {
+		a[c] = r.Shard(c)
+	}
+	return a
+}
+
+// Owned lists the cells a given shard index owns under an assignment table,
+// in ascending cell order.
+func Owned(assignment []int, index int) []int {
+	var cells []int
+	for c, s := range assignment {
+		if s == index {
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// 64-bit FNV-1a over a fixed 17-byte message: a one-byte domain separator
+// followed by two little-endian uint64 words. Inlined rather than pulled
+// from hash/fnv so the ring has zero allocations and the hash function is
+// pinned in this file (the fuzzer's determinism claim covers it).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(domain byte, a, b uint64) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(domain)) * fnvPrime64
+	for i := 0; i < 8; i++ {
+		h = (h ^ (a & 0xff)) * fnvPrime64
+		a >>= 8
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (b & 0xff)) * fnvPrime64
+		b >>= 8
+	}
+	return h
+}
+
+func cellHash(cell int) uint64      { return fnv1a('c', uint64(int64(cell)), 0) }
+func vnodeHash(shard, v int) uint64 { return fnv1a('v', uint64(int64(shard)), uint64(int64(v))) }

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestNewRingRejectsBadShardCount(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		if _, err := NewRing(k, 0); err == nil {
+			t.Errorf("NewRing(%d) accepted", k)
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Assignment(4096), b.Assignment(4096)
+	for c := range as {
+		if as[c] != bs[c] {
+			t.Fatalf("cell %d: two identical rings disagree (%d vs %d)", c, as[c], bs[c])
+		}
+	}
+}
+
+func TestRingOwnershipInRange(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		r, err := NewRing(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, s := range r.Assignment(512) {
+			if s < 0 || s >= k {
+				t.Fatalf("K=%d: cell %d assigned to shard %d outside [0,%d)", k, c, s, k)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 vnodes per shard over many cells, every shard owns a
+	// reasonable share: no shard below a third of its fair share or above
+	// three times it.
+	const cells = 4096
+	for _, k := range []int{2, 4, 8} {
+		r, err := NewRing(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, k)
+		for _, s := range r.Assignment(cells) {
+			counts[s]++
+		}
+		fair := cells / k
+		for s, n := range counts {
+			if n < fair/3 || n > 3*fair {
+				t.Errorf("K=%d: shard %d owns %d of %d cells (fair share %d)", k, s, n, cells, fair)
+			}
+		}
+	}
+}
+
+// TestRingAddShardMovesOnlyToNew pins the consistent-hashing contract: when
+// the cluster grows from K to K+1 shards, a cell either keeps its owner or
+// moves to the new shard — never between surviving shards. Read backwards,
+// the same table says removing a shard only re-homes the removed shard's
+// cells.
+func TestRingAddShardMovesOnlyToNew(t *testing.T) {
+	const cells = 4096
+	for k := 1; k <= 8; k++ {
+		small, err := NewRing(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewRing(k+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, after := small.Assignment(cells), big.Assignment(cells)
+		moved := 0
+		for c := range before {
+			if before[c] != after[c] {
+				moved++
+				if after[c] != k {
+					t.Fatalf("K=%d→%d: cell %d moved %d→%d, not to the new shard", k, k+1, c, before[c], after[c])
+				}
+			}
+		}
+		// Expected movement is cells/(K+1); allow a wide band around it.
+		want := cells / (k + 1)
+		if moved < want/3 || moved > 3*want {
+			t.Errorf("K=%d→%d: %d cells moved, expected ≈%d", k, k+1, moved, want)
+		}
+	}
+}
+
+func TestOwnedPartitionsCells(t *testing.T) {
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := r.Assignment(64)
+	seen := make(map[int]bool)
+	for s := 0; s < 4; s++ {
+		for _, c := range Owned(assignment, s) {
+			if assignment[c] != s {
+				t.Fatalf("Owned(%d) lists cell %d owned by %d", s, c, assignment[c])
+			}
+			if seen[c] {
+				t.Fatalf("cell %d listed for two shards", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("Owned covers %d of 64 cells", len(seen))
+	}
+}

@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/obs"
+)
+
+// RouterConfig parametrizes a cluster router.
+type RouterConfig struct {
+	// Client configures the embedded shard fan-out the router forwards
+	// through (addresses, layout, assignment, per-shard resilience).
+	Client ClientConfig
+	// ReadTimeout is the per-connection idle read deadline (zero: 5 minutes,
+	// negative: disabled), MaxLineBytes caps one request line (zero: 1 MiB),
+	// and MaxConns caps concurrently served connections (zero: 256) — the
+	// same wire hygiene the coordinator applies.
+	ReadTimeout  time.Duration
+	MaxLineBytes int
+	MaxConns     int
+	// ForwardTimeout bounds one forwarded exchange through the fan-out,
+	// including per-shard retries. Zero defaults to 30s.
+	ForwardTimeout time.Duration
+	// Metrics, when non-nil, receives the router's tsajs_router_* family
+	// alongside the embedded client's tsajs_shard_* rollup.
+	Metrics *obs.Registry
+}
+
+func (rc RouterConfig) withDefaults() RouterConfig {
+	if rc.ReadTimeout == 0 {
+		rc.ReadTimeout = 5 * time.Minute
+	}
+	if rc.MaxLineBytes == 0 {
+		rc.MaxLineBytes = 1 << 20
+	}
+	if rc.MaxConns == 0 {
+		rc.MaxConns = 256
+	}
+	if rc.ForwardTimeout == 0 {
+		rc.ForwardTimeout = 30 * time.Second
+	}
+	return rc
+}
+
+// Router exposes a K-shard coordinator cluster behind one JSON endpoint:
+// clients speak the historical newline-delimited JSON protocol to the
+// router, which resolves each request's cell and forwards it to the owning
+// shard over the fan-out client (typically binary, multiplexed). Health
+// probes fan out to every shard and return the merged cluster view.
+//
+// The router accepts only the JSON line protocol on its own listener — a
+// binary client gains nothing from a hop that exists to keep protocol-
+// oblivious devices off the routing problem; latency-sensitive clients
+// should use the shard Client directly.
+type Router struct {
+	cfg RouterConfig
+	ln  net.Listener
+	cli *Client
+
+	requests *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewRouter starts a router listening on addr.
+func NewRouter(addr string, cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.Client.Metrics == nil {
+		cfg.Client.Metrics = reg
+	}
+	cli, err := NewClient(cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = cli.Close()
+		return nil, fmt.Errorf("shard: router listen: %w", err)
+	}
+	r := &Router{
+		cfg: cfg,
+		ln:  ln,
+		cli: cli,
+		requests: reg.Counter("tsajs_router_requests_total",
+			"Requests forwarded through the router."),
+		latency: reg.Histogram("tsajs_router_latency_seconds",
+			"Receive-to-answer latency per request through the router.", obs.DefaultLatencyEdges),
+		inflight: reg.Gauge("tsajs_router_inflight_requests",
+			"Requests currently being forwarded."),
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the router's listening address.
+func (r *Router) Addr() net.Addr { return r.ln.Addr() }
+
+// Client returns the embedded shard fan-out (for handoff and rollup reads).
+func (r *Router) Client() *Client { return r.cli }
+
+// Close stops the listener, drops every connection, and closes the fan-out.
+// Idempotent.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for conn := range r.conns {
+		_ = conn.Close()
+	}
+	r.mu.Unlock()
+	close(r.quit)
+	err := r.ln.Close()
+	r.wg.Wait()
+	if cerr := r.cli.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (r *Router) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if r.isClosed() {
+				return
+			}
+			select {
+			case <-time.After(5 * time.Millisecond):
+				continue
+			case <-r.quit:
+				return
+			}
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if len(r.conns) >= r.cfg.MaxConns {
+			r.mu.Unlock()
+			_ = writeLine(conn, cran.OffloadResponse{
+				Version: cran.ProtocolVersion,
+				Error:   "router at connection capacity",
+			})
+			_ = conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Router) serveConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	initial := 64 * 1024
+	if initial > r.cfg.MaxLineBytes {
+		initial = r.cfg.MaxLineBytes
+	}
+	scanner.Buffer(make([]byte, initial), r.cfg.MaxLineBytes)
+	for {
+		if r.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		}
+		if !scanner.Scan() {
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				_ = writeLine(conn, cran.OffloadResponse{
+					Version: cran.ProtocolVersion,
+					Error:   cran.ErrRequestTooLarge.Error(),
+					Code:    cran.CodeTooLarge,
+				})
+			}
+			return
+		}
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		resp := r.forward(line)
+		if err := writeLine(conn, resp); err != nil {
+			return
+		}
+		if r.isClosed() {
+			return
+		}
+	}
+}
+
+// forward parses one request line and routes it: health probes fan out to
+// every shard and merge, offload requests go to the owning shard. A
+// transport-level forwarding failure is reported to the device as a typed
+// rejection (preserving the shard's backpressure code when one caused it).
+func (r *Router) forward(line []byte) cran.OffloadResponse {
+	var req cran.OffloadRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		return cran.OffloadResponse{Version: cran.ProtocolVersion, Error: "malformed request: " + err.Error()}
+	}
+	r.requests.Inc()
+	r.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		r.latency.Observe(time.Since(start).Seconds())
+		r.inflight.Add(-1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ForwardTimeout)
+	defer cancel()
+	if req.Type == cran.TypeHealth {
+		h, err := r.cli.Health(ctx)
+		if err != nil {
+			return cran.OffloadResponse{Version: cran.ProtocolVersion, UserID: req.UserID, Error: "cluster health: " + err.Error()}
+		}
+		return cran.OffloadResponse{Version: cran.ProtocolVersion, UserID: req.UserID, Health: &h}
+	}
+	resp, err := r.cli.Offload(ctx, req)
+	if err != nil && resp.Error == "" {
+		// The shard was unreachable (or retries exhausted on backpressure):
+		// synthesize the typed rejection the device would have seen talking
+		// to its shard directly.
+		resp = cran.OffloadResponse{
+			Version: cran.ProtocolVersion,
+			UserID:  req.UserID,
+			Error:   err.Error(),
+			Code:    forwardCode(err),
+		}
+	}
+	return resp
+}
+
+// forwardCode maps a fan-out error back to the wire code it carries.
+func forwardCode(err error) string {
+	switch {
+	case errors.Is(err, cran.ErrQueueFull):
+		return cran.CodeQueueFull
+	case errors.Is(err, cran.ErrAdmissionRejected):
+		return cran.CodeAdmission
+	case errors.Is(err, cran.ErrDeadlineExceeded):
+		return cran.CodeExpired
+	case errors.Is(err, cran.ErrWrongShard):
+		return cran.CodeWrongShard
+	default:
+		return ""
+	}
+}
+
+func writeLine(conn net.Conn, resp cran.OffloadResponse) error {
+	return json.NewEncoder(conn).Encode(resp)
+}

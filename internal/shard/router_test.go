@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/obs"
+)
+
+func startTestRouter(t *testing.T) (*Router, []int) {
+	t.Helper()
+	addrs, assignment := startSmallCluster(t)
+	r, err := NewRouter("127.0.0.1:0", RouterConfig{
+		Client: ClientConfig{
+			Addrs:      addrs,
+			Sites:      diffSites(),
+			Assignment: assignment,
+			Resilience: cran.ResilienceConfig{Protocol: cran.ProtoBinary, MaxAttempts: 1, BreakerThreshold: -1},
+		},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r, assignment
+}
+
+// TestRouterForwardsAcrossShards drives the router with the plain JSON
+// client: requests in cells owned by different shards come back with
+// correct decisions, and a health probe returns the merged cluster view.
+func TestRouterForwardsAcrossShards(t *testing.T) {
+	r, _ := startTestRouter(t)
+	cli, err := cran.Dial(r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sites := diffSites()
+	for _, cell := range []int{0, 6} { // shard 0 and shard 1 territory
+		resp, err := cli.Offload(ctx, walkerReq("router-user", geom.Point{X: sites[cell].X + 0.02, Y: sites[cell].Y}))
+		if err != nil {
+			t.Fatalf("cell %d: %v", cell, err)
+		}
+		if resp.Offload && resp.Server != cell {
+			t.Errorf("cell %d: offloaded to %d", cell, resp.Server)
+		}
+	}
+
+	h, err := cli.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats.ShardCount != 2 {
+		t.Errorf("health through router: ShardCount = %d, want 2", h.Stats.ShardCount)
+	}
+	if h.Stats.Requests != 2 {
+		t.Errorf("health through router: Requests = %d, want 2", h.Stats.Requests)
+	}
+	if got := r.Client().Handoffs(); got != 1 {
+		t.Errorf("router fan-out handoffs = %d, want 1", got)
+	}
+
+	prom := string(r.Client().Metrics().PrometheusText())
+	for _, want := range []string{
+		"tsajs_router_requests_total 3", // two offloads + one health probe
+		"tsajs_router_latency_seconds_count 3",
+		"tsajs_shard_handoffs_total 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+}
+
+// TestRouterAnswersMalformedLines pins the wire hygiene: garbage JSON gets
+// an error response, and the connection survives for the next request.
+func TestRouterAnswersMalformedLines(t *testing.T) {
+	r, _ := startTestRouter(t)
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	rd := bufio.NewReader(conn)
+
+	if _, err := conn.Write([]byte("{not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := rd.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp cran.OffloadResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("malformed line answered without error")
+	}
+
+	// The connection still works.
+	sites := diffSites()
+	req := walkerReq("after-garbage", geom.Point{X: sites[0].X, Y: sites[0].Y + 0.02})
+	req.Version = cran.ProtocolVersion
+	blob, _ := json.Marshal(req)
+	if _, err := conn.Write(append(blob, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err = rd.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = cran.OffloadResponse{}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Errorf("valid request after garbage rejected: %s", resp.Error)
+	}
+}
+
+func TestRouterCloseIdempotent(t *testing.T) {
+	r, _ := startTestRouter(t)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

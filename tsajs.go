@@ -19,6 +19,7 @@ import (
 	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/report"
 	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/shard"
 	"github.com/tsajs/tsajs/internal/simrand"
 	"github.com/tsajs/tsajs/internal/solver"
 	"github.com/tsajs/tsajs/internal/spec"
@@ -157,6 +158,26 @@ type (
 	// breaker fast-fails, and graceful degradations; wire into
 	// ResilienceConfig.Metrics.
 	ClientMetrics = obs.ClientMetrics
+	// CoordinatorPartition marks a coordinator as one shard of a K-shard
+	// cluster: it owns the cells the assignment table gives its index,
+	// rejects requests for foreign cells with ErrWrongShard, and counts
+	// epochs per cell so decisions are independent of cluster layout.
+	CoordinatorPartition = cran.PartitionConfig
+	// ShardRing is the deterministic consistent-hash ring mapping cell IDs
+	// to coordinator shards; every cluster component derives the same
+	// cell→shard table from it.
+	ShardRing = shard.Ring
+	// ShardClient routes offload requests to the coordinator shard owning
+	// the caller's cell, with per-shard resilient connections and
+	// cross-shard handoff accounting.
+	ShardClient = shard.Client
+	// ShardClientConfig parametrizes a ShardClient.
+	ShardClientConfig = shard.ClientConfig
+	// ShardRouter fronts a whole shard cluster behind one JSON endpoint for
+	// clients that are not shard-aware.
+	ShardRouter = shard.Router
+	// ShardRouterConfig parametrizes a ShardRouter.
+	ShardRouterConfig = shard.RouterConfig
 )
 
 // Local marks a user as executing its task on the device in an Assignment.
@@ -383,6 +404,51 @@ func RunAblation(id string, opts ExperimentOptions) ([]FigureTable, error) {
 // RunFigure reproduces one paper figure, returning one table per panel.
 func RunFigure(figure string, opts ExperimentOptions) ([]FigureTable, error) {
 	return experiment.Run(figure, opts)
+}
+
+// ErrWrongShard is the typed rejection of a request routed to a coordinator
+// shard that does not own the request's cell (a stale assignment table or a
+// mis-configured client). It is a fault, not backpressure: retrying the same
+// shard is hopeless, so clients must re-resolve their routing instead.
+var ErrWrongShard = cran.ErrWrongShard
+
+// DefaultShardReplicas is the consistent-hash ring's default vnode count
+// per shard.
+const DefaultShardReplicas = shard.DefaultReplicas
+
+// CellSites returns the hexagonal cell site layout the coordinator derives
+// from params — the layout a ShardClient must be given so client-side
+// routing agrees with every shard's own cell resolution.
+func CellSites(params Params) []Point {
+	return geom.HexLayout(params.NumServers, params.InterSiteKm)
+}
+
+// NewShardRing builds the consistent-hash ring for a K-shard cluster;
+// replicas <= 0 selects DefaultShardReplicas. Rings are deterministic: two
+// processes building one with the same parameters agree on every cell's
+// owner, and growing a cluster K→K+1 moves cells only to the new shard.
+func NewShardRing(shards, replicas int) (*ShardRing, error) {
+	return shard.NewRing(shards, replicas)
+}
+
+// ShardOwned lists the cells one shard owns under an assignment table, in
+// ascending cell order — the coordinator-side complement of a ring's
+// Assignment.
+func ShardOwned(assignment []int, index int) []int {
+	return shard.Owned(assignment, index)
+}
+
+// NewShardClient returns a shard-aware client for a coordinator cluster:
+// requests are routed by the cell nearest their position to the shard owning
+// that cell, over per-shard resilient connections.
+func NewShardClient(cfg ShardClientConfig) (*ShardClient, error) {
+	return shard.NewClient(cfg)
+}
+
+// NewShardRouter starts a router listening on addr that fans a plain JSON
+// client's requests out across the shard cluster described by cfg.Client.
+func NewShardRouter(addr string, cfg ShardRouterConfig) (*ShardRouter, error) {
+	return shard.NewRouter(addr, cfg)
 }
 
 // RunSpec executes a custom sweep from a declarative JSON specification
