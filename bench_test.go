@@ -24,10 +24,12 @@ import (
 	"github.com/tsajs/tsajs/internal/assign"
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/delta"
 	"github.com/tsajs/tsajs/internal/dynamic"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
 	"github.com/tsajs/tsajs/internal/portfolio"
+	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
 	"github.com/tsajs/tsajs/internal/solver"
@@ -387,6 +389,103 @@ func BenchmarkDynamicEpochs(b *testing.B) {
 		totalUtility += res.TotalUtility
 	}
 	b.ReportMetric(totalUtility/float64(b.N), "utility")
+}
+
+// BenchmarkDeltaEpoch measures one epoch of the delta-epoch incremental
+// path at increasing dirty fractions against the full epoch it replaces.
+// A repair iteration redraws only the dirty users' gain rows in place
+// (radio.RefreshUser), re-finalizes the scenario, and runs the scoped
+// repair anneal from the previous decision under the delta budget rule;
+// dirty100 is the reference full epoch — whole-tensor redraw plus a
+// full-budget TTSA solve. The dirty5/dirty100 and dirty25/dirty100 ns/op
+// ratios are the per-epoch speedup the incremental path buys; the
+// "utility" metric shows what the narrowed search gives up.
+func BenchmarkDeltaEpoch(b *testing.B) {
+	const users = 40
+	const fullBudget = 5000
+	p := scenario.DefaultParams()
+	sc := benchScenario(b, users)
+	sites := make([]geom.Point, len(sc.Servers))
+	for s := range sc.Servers {
+		sites[s] = sc.Servers[s].Pos
+	}
+	userPos := make([]geom.Point, len(sc.Users))
+	allUsers := make([]int, len(sc.Users))
+	for u := range sc.Users {
+		userPos[u] = sc.Users[u].Pos
+		allUsers[u] = u
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = fullBudget
+	full, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedRes, err := full.Schedule(sc, simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	incumbent := seedRes.Assignment
+	dcfg := delta.Config{}.WithDefaults()
+
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{
+		{name: "dirty5", frac: 0.05},
+		{name: "dirty25", frac: 0.25},
+		{name: "dirty100", frac: 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			k := int(tc.frac * users)
+			if k < 1 {
+				k = 1
+			}
+			total := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := simrand.New(uint64(i) + 10)
+				var res solver.Result
+				var err error
+				if k == users {
+					gain, gerr := radio.NewGainTensorInto(sc.Gain.Data(),
+						p.PathLoss, userPos, sites, p.NumChannels, rng.Derive(0))
+					if gerr != nil {
+						b.Fatal(gerr)
+					}
+					sc.Gain = gain
+					if err := sc.Finalize(); err != nil {
+						b.Fatal(err)
+					}
+					res, err = full.Schedule(sc, rng)
+				} else {
+					for u := 0; u < k; u++ {
+						if err := sc.Gain.RefreshUser(p.PathLoss, u,
+							userPos[u], sites, rng.Derive(uint64(u))); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := sc.Finalize(); err != nil {
+						b.Fatal(err)
+					}
+					rcfg := cfg
+					rcfg.InitialTemp = dcfg.RepairTemp
+					rcfg.MaxEvaluations = dcfg.RepairBudget(k, fullBudget)
+					repair, rerr := core.New(rcfg)
+					if rerr != nil {
+						b.Fatal(rerr)
+					}
+					res, err = repair.ScheduleRepair(sc, rng, incumbent, allUsers[:k])
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Utility
+			}
+			b.ReportMetric(total/float64(b.N), "utility")
+		})
+	}
 }
 
 // BenchmarkCoordinatorRoundTrip measures the C-RAN service: one iteration

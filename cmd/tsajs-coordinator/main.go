@@ -72,6 +72,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		deadline = fs.Duration("deadline", 0, "default per-request deadline; stale requests are shed at admission or dequeue (0 = none)")
 		brownout = fs.Bool("brownout", false, "degrade epoch solves under queue pressure (truncated anneal, then cheap heuristic) instead of shedding")
 
+		deltaOn     = fs.Bool("delta", false, "incremental delta-epoch solving: refresh only moved users' gain rows and repair-anneal around the previous epoch (incompatible with -brownout)")
+		deltaThresh = fs.Float64("delta-threshold-km", 0.05, "movement that marks a user dirty [km] (0 = every user, every epoch)")
+		deltaEvery  = fs.Int("delta-full-every", 0, "force a full solve every N epochs (0 = library default)")
+
 		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (negative disables)")
 		maxLine     = fs.Int("max-line-bytes", 1<<20, "maximum request line length on the wire [bytes]")
 		maxConns    = fs.Int("max-conns", 256, "maximum concurrently served connections")
@@ -102,6 +106,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 	ttsaCfg := tsajs.DefaultConfig()
 	ttsaCfg.MaxEvaluations = *budget
+
+	var deltaCfg *tsajs.DeltaConfig
+	if *deltaOn {
+		deltaCfg = &tsajs.DeltaConfig{
+			MoveThresholdKm: *deltaThresh,
+			FullEvery:       *deltaEvery,
+		}
+	}
 
 	var partition *tsajs.CoordinatorPartition
 	if *shards > 0 {
@@ -135,6 +147,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		DefaultDeadline: *deadline,
 		Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
 		Partition:       partition,
+		Delta:           deltaCfg,
 	})
 	if err != nil {
 		return err
@@ -145,6 +158,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if partition != nil {
 		fmt.Fprintf(stdout, "shard %d of %d owning cells %v\n",
 			partition.Index, partition.Shards, tsajs.ShardOwned(partition.Assignment, partition.Index))
+	}
+	if deltaCfg != nil {
+		fmt.Fprintf(stdout, "delta-epoch serving: threshold=%.3fkm full-every=%d\n",
+			deltaCfg.MoveThresholdKm, deltaCfg.WithDefaults().FullEvery)
 	}
 
 	if *metricsAddr != "" {
@@ -177,6 +194,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 	if stats.WrongShard > 0 {
 		fmt.Fprintf(stdout, "sharding: %d wrong-shard rejections (client routing tables are stale)\n", stats.WrongShard)
+	}
+	if stats.DeltaFullEpochs+stats.DeltaRepairEpochs > 0 {
+		fmt.Fprintf(stdout, "delta: %d full epochs, %d repair epochs, %d dirty users, %d gain rows reused\n",
+			stats.DeltaFullEpochs, stats.DeltaRepairEpochs, stats.DeltaDirtyUsers, stats.DeltaRowsReused)
 	}
 	degraded := stats.EpochsDegradedTruncated + stats.EpochsDegradedCheap
 	shed := stats.ShedQueueFull + stats.ShedAdmission + stats.ShedExpired

@@ -29,21 +29,7 @@ func TestCoordinatorServesUntilStopped(t *testing.T) {
 	}()
 
 	// Wait for the listening banner to learn the bound address.
-	var addr string
-	deadline := time.Now().Add(5 * time.Second)
-	for addr == "" {
-		if time.Now().After(deadline) {
-			t.Fatal("coordinator never reported its address")
-		}
-		time.Sleep(10 * time.Millisecond)
-		mu.Lock()
-		text := sb.String()
-		mu.Unlock()
-		if i := strings.Index(text, "listening on "); i >= 0 {
-			rest := text[i+len("listening on "):]
-			addr = strings.Fields(rest)[0]
-		}
-	}
+	addr := waitForBanner(t, out, "listening on ")
 
 	cli, err := tsajs.DialCoordinator(addr)
 	if err != nil {
@@ -104,23 +90,8 @@ func TestCoordinatorIntrospectionEndpoint(t *testing.T) {
 		}
 	}()
 
-	banner := func(marker string) string {
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			if time.Now().After(deadline) {
-				t.Fatalf("coordinator never printed %q", marker)
-			}
-			time.Sleep(10 * time.Millisecond)
-			mu.Lock()
-			text := sb.String()
-			mu.Unlock()
-			if i := strings.Index(text, marker); i >= 0 {
-				return strings.Fields(text[i+len(marker):])[0]
-			}
-		}
-	}
-	addr := banner("listening on ")
-	metricsURL := banner("metrics on ")
+	addr := waitForBanner(t, out, "listening on ")
+	metricsURL := waitForBanner(t, out, "metrics on ")
 
 	// Send one request so the counters are non-trivial.
 	cli, err := tsajs.DialCoordinator(addr)
@@ -215,6 +186,64 @@ func TestCoordinatorRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-router", "-shard-addrs", "127.0.0.1:1,,127.0.0.1:2"}, &sb, make(chan struct{})); err == nil {
 		t.Error("empty shard address accepted")
 	}
+	if err := run([]string{"-delta", "-brownout"}, &sb, make(chan struct{})); err == nil {
+		t.Error("-delta with -brownout accepted")
+	}
+}
+
+// TestCoordinatorDeltaFlag serves two epochs in delta mode through the
+// command's flag surface and asserts the mode banner and the shutdown
+// summary's full/repair split.
+func TestCoordinatorDeltaFlag(t *testing.T) {
+	stop := make(chan struct{})
+	var sb strings.Builder
+	var mu sync.Mutex
+	out := &lockedWriter{sb: &sb, mu: &mu}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-servers", "3", "-channels", "2",
+			"-window", "10ms", "-budget", "800", "-delta", "-delta-threshold-km", "0.05",
+		}, out, stop)
+	}()
+	addr := waitForBanner(t, out, "listening on ")
+	if !strings.Contains(out.String(), "delta-epoch serving:") {
+		t.Error("delta mode banner missing")
+	}
+
+	cli, err := tsajs.DialCoordinator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Two sequential epochs from one barely-moving user: the first is a
+	// full solve (cadence), the second a repair with a clean tracker row.
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Offload(ctx, tsajs.OffloadRequest{
+			UserID: "delta-cli",
+			Pos:    tsajs.Point{X: 0.1 + 0.001*float64(i), Y: 0.1},
+			Task:   tsajs.Task{DataBits: 1e6, WorkCycles: 2e9},
+		}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not stop")
+	}
+	text := out.String()
+	if !strings.Contains(text, "delta: 1 full epochs, 1 repair epochs") {
+		t.Errorf("shutdown summary missing delta split:\n%s", text)
+	}
 }
 
 // startProc runs the command in a goroutine and returns the address parsed
@@ -228,19 +257,7 @@ func startProc(t *testing.T, args []string, marker string) (addr string, shutdow
 	done := make(chan error, 1)
 	go func() { done <- run(args, out, stop) }()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for addr == "" {
-		if time.Now().After(deadline) {
-			t.Fatalf("process %v never printed %q", args, marker)
-		}
-		time.Sleep(10 * time.Millisecond)
-		mu.Lock()
-		text := sb.String()
-		mu.Unlock()
-		if i := strings.Index(text, marker); i >= 0 {
-			addr = strings.Fields(text[i+len(marker):])[0]
-		}
-	}
+	addr = waitForBanner(t, out, marker)
 	return addr, func() {
 		close(stop)
 		select {
@@ -329,4 +346,31 @@ func (w *lockedWriter) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.sb.Write(p)
+}
+
+// String returns a consistent snapshot of everything written so far.
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// waitForBanner polls the process output every millisecond until marker
+// appears followed by at least one field, and returns that first field —
+// condition-driven instead of the fixed 10ms sleeps it replaces, so slow
+// machines get the full deadline and fast ones don't oversleep.
+func waitForBanner(t *testing.T, out *lockedWriter, marker string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		text := out.String()
+		if i := strings.Index(text, marker); i >= 0 {
+			if fields := strings.Fields(text[i+len(marker):]); len(fields) > 0 {
+				return fields[0]
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("output never contained %q", marker)
+	return ""
 }

@@ -90,6 +90,13 @@ type report struct {
 	Shards     int    `json:"shards,omitempty"`
 	Handoffs   uint64 `json:"handoffs,omitempty"`
 	WrongShard uint64 `json:"wrongShard,omitempty"`
+
+	// Delta-epoch view (zero/absent without -delta): how the epochs over
+	// the window split between full solves and scoped repairs, and how many
+	// gain-tensor rows the incremental path reused instead of redrawing.
+	DeltaFullEpochs   uint64 `json:"deltaFullEpochs,omitempty"`
+	DeltaRepairEpochs uint64 `json:"deltaRepairEpochs,omitempty"`
+	DeltaRowsReused   uint64 `json:"deltaRowsReused,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -115,6 +122,9 @@ func run(args []string, stdout io.Writer) error {
 		deadlineMs = fs.Float64("deadline", 0, "self-host: default per-request deadline [ms] (0 = none)")
 		brownout   = fs.Bool("brownout", false, "self-host: enable brownout solver degradation under queue pressure")
 		chaos      = fs.Duration("chaos", 0, "self-host: inject this solver delay into every epoch (0 = none)")
+
+		deltaOn     = fs.Bool("delta", false, "self-host: incremental delta-epoch solving (incompatible with -brownout)")
+		deltaThresh = fs.Float64("delta-threshold-km", 0.05, "self-host: movement that marks a user dirty [km] (0 = every user, every epoch)")
 
 		shards       = fs.Int("shards", 0, "self-host: coordinator shards (0 = one unpartitioned coordinator; K >= 1 partitions the cells over a K-shard cluster)")
 		ringReplicas = fs.Int("ring-replicas", 0, "self-host: consistent-hash ring vnodes per shard (0 = default)")
@@ -157,6 +167,9 @@ func run(args []string, stdout io.Writer) error {
 		if *chaos > 0 {
 			cfg.SolverChaos = &tsajs.SolverChaos{Seed: *seed, DelayProb: 1, Delay: *chaos}
 		}
+		if *deltaOn {
+			cfg.Delta = &tsajs.DeltaConfig{MoveThresholdKm: *deltaThresh}
+		}
 		return cfg
 	}
 	// With -json the banner moves to stderr so stdout stays a single
@@ -180,6 +193,18 @@ func run(args []string, stdout io.Writer) error {
 			}
 		},
 		userID: func(c, i int) string { return fmt.Sprintf("lg-%d-%d", c, i) },
+	}
+	if *deltaOn && *shards == 0 {
+		// Delta mode tracks per-user state across epochs, so the load must
+		// be a stable population taking small steps — fresh user IDs every
+		// request would leave every epoch fully dirty.
+		opts.userID = func(c, i int) string { return fmt.Sprintf("lg-%d", c) }
+		opts.pos = func(c, i int) tsajs.Point {
+			return tsajs.Point{
+				X: 0.3*math.Cos(float64(c)) + 0.0005*float64(i),
+				Y: 0.3 * math.Sin(float64(c)),
+			}
+		}
 	}
 
 	switch {
@@ -281,6 +306,10 @@ func run(args []string, stdout io.Writer) error {
 	if rep.Shards > 0 {
 		fmt.Fprintf(stdout, "cluster: %d shards, %d cross-shard handoffs, %d wrong-shard rejections\n",
 			rep.Shards, rep.Handoffs, rep.WrongShard)
+	}
+	if rep.DeltaFullEpochs+rep.DeltaRepairEpochs > 0 {
+		fmt.Fprintf(stdout, "delta: %d full epochs, %d repair epochs, %d gain rows reused\n",
+			rep.DeltaFullEpochs, rep.DeltaRepairEpochs, rep.DeltaRowsReused)
 	}
 	return nil
 }
@@ -467,6 +496,9 @@ func drive(opts driveOpts) (report, error) {
 		rep.Handoffs = opts.handoffs()
 	}
 	rep.WrongShard = after.Stats.WrongShard
+	rep.DeltaFullEpochs = after.Stats.DeltaFullEpochs - before.Stats.DeltaFullEpochs
+	rep.DeltaRepairEpochs = after.Stats.DeltaRepairEpochs - before.Stats.DeltaRepairEpochs
+	rep.DeltaRowsReused = after.Stats.DeltaRowsReused - before.Stats.DeltaRowsReused
 	return rep, nil
 }
 

@@ -42,6 +42,11 @@ func run(args []string, stdout io.Writer) error {
 		budget   = fs.Int("budget", 5000, "TTSA evaluation budget per epoch")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 
+		deltaOn      = fs.Bool("delta", false, "incremental delta-epoch solving (dirty-set tracking + scoped repair anneal)")
+		deltaThresh  = fs.Float64("delta-threshold-km", 0.05, "movement that marks a user dirty [km] (0 = every user, every epoch)")
+		deltaEvery   = fs.Int("delta-full-every", 0, "force a full solve every N epochs (0 = library default)")
+		deltaDriftKm = fs.Float64("delta-drift-km", 0, "cumulative per-user drift that forces a full solve [km] (0 = default)")
+
 		failProb     = fs.Float64("fail-prob", 0, "per-epoch edge-server failure probability (0 = no faults)")
 		recoverProb  = fs.Float64("recover-prob", 0.5, "per-epoch failed-server recovery probability")
 		coordFail    = fs.Float64("coord-fail-prob", 0, "per-epoch coordinator outage probability")
@@ -79,6 +84,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var deltaCfg *tsajs.DeltaConfig
+	if *deltaOn {
+		deltaCfg = &tsajs.DeltaConfig{
+			MoveThresholdKm: *deltaThresh,
+			FullEvery:       *deltaEvery,
+			DriftKm:         *deltaDriftKm,
+		}
+	}
+
 	var reg *tsajs.MetricsRegistry
 	if *metricsOut != "" {
 		reg = tsajs.NewMetricsRegistry()
@@ -95,25 +109,42 @@ func run(args []string, stdout io.Writer) error {
 		Seed:         *seed,
 		Metrics:      reg,
 		FaultPlan:    plan,
+		Delta:        deltaCfg,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "%-6s %7s %9s %9s %10s %10s %9s %6s %5s %6s\n",
+	fmt.Fprintf(stdout, "%-6s %7s %9s %9s %10s %10s %9s %6s %5s %6s",
 		"epoch", "active", "offload", "utility", "delay[s]", "energy[J]", "solve", "warm", "down", "coord")
+	if deltaCfg != nil {
+		fmt.Fprintf(stdout, " %6s %-10s", "dirty", "mode")
+	}
+	fmt.Fprintln(stdout)
 	for _, e := range res.Epochs {
 		coord := "up"
 		if e.CoordinatorDown {
 			coord = "DOWN"
 		}
-		fmt.Fprintf(stdout, "%-6d %7d %9d %9.3f %10.3f %10.3f %9s %6v %5d %6s\n",
+		fmt.Fprintf(stdout, "%-6d %7d %9d %9.3f %10.3f %10.3f %9s %6v %5d %6s",
 			e.Epoch, e.Active, e.Offloaded, e.Utility, e.MeanDelayS, e.MeanEnergyJ,
 			e.SolveTime.Round(1e5), e.WarmStarted, e.DownServers, coord)
+		if deltaCfg != nil {
+			mode := "repair"
+			if e.DeltaFull {
+				mode = "full:" + e.DeltaReason
+			}
+			fmt.Fprintf(stdout, " %6d %-10s", e.DeltaDirty, mode)
+		}
+		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintf(stdout, "\ntotals: utility=%.3f solve=%s evaluations=%d mean-active=%.1f mean-offloaded=%.1f\n",
 		res.TotalUtility, res.TotalSolveTime.Round(1e6), res.TotalEvaluations,
 		res.MeanActive, res.MeanOffloaded)
+	if deltaCfg != nil {
+		fmt.Fprintf(stdout, "delta: full-epochs=%d repair-epochs=%d dirty-users=%d\n",
+			res.DeltaFullEpochs, res.DeltaRepairEpochs, res.DeltaDirtyUsers)
+	}
 	if plan != nil {
 		fmt.Fprintf(stdout, "faults: server-availability=%.3f coordinator-availability=%.3f degraded-epochs=%d evacuated=%d\n",
 			res.ServerAvailability, res.CoordinatorAvailability, res.DegradedEpochs, res.TotalEvacuated)

@@ -36,6 +36,11 @@ type ChainOptions struct {
 	// cooling with α₂. This couples chains to the scheduler's timing and is
 	// therefore non-deterministic; leave nil for the canonical mode.
 	Incumbent Incumbent
+	// Targets, when non-empty, restricts every move's target user to this
+	// set — the delta-epoch repair anneal's scoping. Swap partners and
+	// displaced occupants stay unrestricted. Nil reproduces the
+	// unrestricted draw sequence exactly.
+	Targets []int
 }
 
 // ScheduleChain runs one Algorithm 1 chain with the given portfolio

@@ -26,6 +26,12 @@ type neighborhood struct {
 	cumServer  float64
 	cumChannel float64
 	cumSwap    float64
+	// targets, when non-empty, restricts the move's target user to this
+	// set (the repair anneal's dirty users). Secondary users — a swap
+	// partner or a displaced occupant — stay unrestricted, so a repair
+	// can still trade slots with clean users. With targets nil the draw
+	// is rng.Intn(Users()) exactly as before.
+	targets []int
 }
 
 func newNeighborhood(cfg Config) *neighborhood {
@@ -35,6 +41,15 @@ func newNeighborhood(cfg Config) *neighborhood {
 	n.cumChannel = n.cumServer + cfg.Moves.MoveChannel/total
 	n.cumSwap = n.cumChannel + cfg.Moves.Swap/total
 	return n
+}
+
+// pickUser draws the move's target user: uniform over targets when the
+// move set is restricted, uniform over all users otherwise.
+func (n *neighborhood) pickUser(a *assign.Assignment, rng *simrand.Source) int {
+	if len(n.targets) > 0 {
+		return n.targets[rng.Intn(len(n.targets))]
+	}
+	return rng.Intn(a.Users())
 }
 
 // pick draws a move kind from the configured mix.
@@ -58,7 +73,7 @@ func (n *neighborhood) pick(rng *simrand.Source) moveKind {
 // eviction) degrade to the closest applicable move rather than silently
 // wasting the iteration, mirroring the fallbacks in Algorithm 2.
 func (n *neighborhood) Apply(a *assign.Assignment, rng *simrand.Source) bool {
-	u := rng.Intn(a.Users())
+	u := n.pickUser(a, rng)
 	switch n.pick(rng) {
 	case moveServer:
 		return n.relocateServer(a, u, rng)

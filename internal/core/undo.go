@@ -73,7 +73,7 @@ func (n *Neighborhood) ApplyUndo(a *assign.Assignment, rng *simrand.Source, undo
 // applyUndo mirrors neighborhood.Apply but records prior slots first.
 func (n *neighborhood) applyUndo(a *assign.Assignment, rng *simrand.Source, undo *Undo) bool {
 	undo.reset()
-	u := rng.Intn(a.Users())
+	u := n.pickUser(a, rng)
 	switch n.pick(rng) {
 	case moveServer:
 		return n.relocateServerUndo(a, u, rng, undo)

@@ -124,6 +124,9 @@ func (s *Server) enqueueCellEpochs(batch []pending) {
 			s.stats.queueDepth.Set(float64(len(s.solveQ)))
 		default:
 			s.stats.epochRejected()
+			// A rejected cell epoch never reaches a worker: unblock the
+			// cell's delta chain.
+			s.deltaSkip(eb.epoch, eb.cell)
 			s.failBatch(eb.batch, CodeQueueFull, ErrQueueFull.Error())
 		}
 		start = end

@@ -99,6 +99,16 @@ func (w *solveWorker) loop() {
 			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
 			continue
 		}
+		// Delta serving: epochs of one chain mutate shared cache state, so
+		// the worker must own the chain for its stamped epoch number before
+		// touching the batch — acquire blocks until every earlier epoch of
+		// the chain was solved or skipped, and advance releases it whatever
+		// happened in between (an expired-empty epoch included).
+		ch := s.deltaChainFor(eb.cell)
+		if ch != nil && !ch.acquire(eb.epoch) {
+			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
+			continue
+		}
 		// Expired requests are answered here, at dequeue, before any solving
 		// starts: a worker is never burned on a solve whose answer could not
 		// arrive in time, and the "no deadline-expired full solves" invariant
@@ -106,12 +116,18 @@ func (w *solveWorker) loop() {
 		eb.dequeued = time.Now()
 		eb.batch = w.expireBatch(eb)
 		if len(eb.batch) == 0 {
+			if ch != nil {
+				ch.advance()
+			}
 			s.stats.epochExpired()
 			s.noteServiceTime(started)
 			continue
 		}
 		s.stats.inflight.Add(1)
 		w.solveEpochSafe(eb)
+		if ch != nil {
+			ch.advance()
+		}
 		s.stats.inflight.Add(-1)
 		s.noteServiceTime(started)
 	}
@@ -195,6 +211,13 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 			}
 		}
 	}
+	if ch := s.deltaChainFor(eb.cell); ch != nil {
+		// Delta-epoch serving: incremental scenario assembly and a scoped
+		// repair solve against the chain's cached state. The worker already
+		// owns the chain (acquired in loop).
+		w.solveDeltaEpoch(eb, ch)
+		return
+	}
 	if eb.cell >= 0 {
 		// Partitioned epochs sort by user ID before solving so the decision
 		// vector is a pure function of the request *set*, not of arrival
@@ -218,6 +241,14 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 		s.failBatch(eb.batch, CodeInternal, "verification: "+err.Error())
 		return
 	}
+	w.finishEpoch(eb, sc, res)
+}
+
+// finishEpoch evaluates the verified epoch result, records the epoch in the
+// stats, and answers every request of the batch — the shared tail of the
+// classic and delta solve paths.
+func (w *solveWorker) finishEpoch(eb epochBatch, sc *scenario.Scenario, res solver.Result) {
+	s := w.srv
 	rep := objective.New(sc).Evaluate(res.Assignment)
 	s.stats.epochScheduled(len(eb.batch), res.Assignment.Offloaded(), res.Elapsed, res.Utility)
 	s.stats.epochDegraded(eb.tier)

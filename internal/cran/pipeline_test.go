@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/faults"
 )
 
 // submitWave injects requests directly into the batch collector in a fixed
@@ -154,10 +155,11 @@ func TestQueueOverflowFailFast(t *testing.T) {
 	cfg.MaxBatch = 4
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
-	// A full default anneal keeps the lone worker busy long enough for the
-	// later waves to hit the queue cap.
-	ttsaCfg := core.DefaultConfig()
-	cfg.TTSA = &ttsaCfg
+	// Pin the lone worker on every solve with an injected delay, so the
+	// later waves deterministically hit the queue cap however slowly the
+	// submitting goroutines are scheduled (a full anneal alone can finish
+	// between waves when the suite saturates the host).
+	cfg.SolverChaos = &faults.SolverChaos{Seed: 1, DelayProb: 1, Delay: 300 * time.Millisecond}
 	srv := startServer(t, cfg)
 
 	var ps []pending

@@ -14,6 +14,7 @@ import (
 
 	"github.com/tsajs/tsajs/internal/baseline"
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/delta"
 	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/obs"
@@ -96,6 +97,17 @@ type ServerConfig struct {
 	// cell epoch) — bit-identical decisions for any cluster size, worker
 	// count, or wire codec. See PartitionConfig and internal/shard.
 	Partition *PartitionConfig
+	// Delta, when non-nil, enables delta-epoch incremental serving: the
+	// coordinator caches each user's gain rows and previous decision,
+	// refreshes only users that moved beyond Delta.MoveThresholdKm (or
+	// newly appeared), and solves repair epochs with a short anneal scoped
+	// to the dirty set — falling back to a full solve on the Delta
+	// cadence/drift/dirty-fraction gates. Per-user RNG streams keep full
+	// epochs bit-identical to a threshold-0 coordinator's for any worker
+	// count or wire codec. Incompatible with Brownout (a degraded tier
+	// would replace the carried incumbent with a different scheduler's
+	// decision). See internal/delta.
+	Delta *delta.Config
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -169,6 +181,14 @@ func (c ServerConfig) Validate() error {
 			return err
 		}
 	}
+	if cc.Delta != nil {
+		if err := cc.Delta.Validate(); err != nil {
+			return err
+		}
+		if cc.Brownout.Enabled {
+			return fmt.Errorf("cran: delta-epoch serving cannot be combined with brownout degradation")
+		}
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -223,6 +243,16 @@ type Server struct {
 	// a lone K=1 coordinator — derives identical streams for a given cell.
 	cellEpochs []uint64
 	cellRNG    []*simrand.Source
+
+	// Delta-epoch serving state (nil/zero when Delta is off): one chain
+	// per cell on partitioned coordinators, one network-wide chain
+	// otherwise; the defaulted delta config; the base solver config repair
+	// solvers derive their budget and temperature from; and the shared
+	// solver observer repair solvers report into.
+	deltaChains []*deltaChain
+	deltaCfg    delta.Config
+	deltaTTSA   core.Config
+	solverObs   *obs.SolverMetrics
 
 	// Overload-resilience state: degraded-tier solvers, the deterministic
 	// brownout controller (owned by the batch collector), and the EWMA
@@ -313,6 +343,24 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		s.servers[i] = scenario.Server{Pos: pos, FHz: cfg.Params.ServerFreqHz}
 	}
 	s.brownout = newBrownoutController(bo, cfg.QueueDepth)
+	s.solverObs = solverObs
+	if cfg.Delta != nil {
+		s.deltaCfg = *cfg.Delta
+		s.deltaCfg = s.deltaCfg.WithDefaults()
+		s.deltaTTSA = ttsaCfg
+		if cfg.Partition != nil {
+			// Partitioned epochs see a one-site scenario, so each cell's
+			// chain caches single-site rows.
+			s.deltaChains = make([]*deltaChain, len(s.sites))
+			for c := range s.deltaChains {
+				s.deltaChains[c] = newDeltaChain(cfg.Params.NumChannels)
+			}
+		} else {
+			s.deltaChains = []*deltaChain{
+				newDeltaChain(cfg.Params.NumServers * cfg.Params.NumChannels),
+			}
+		}
+	}
 	if pc := cfg.Partition; pc != nil {
 		s.cellEpochs = make([]uint64, len(s.sites))
 		s.cellRNG = make([]*simrand.Source, len(s.sites))
@@ -350,6 +398,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	close(s.quit)
+	// Wake any worker parked in a delta chain's acquire — the collector is
+	// about to close the solve queue and those epochs will never be solved.
+	s.closeDeltaChains()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -700,6 +751,9 @@ func (s *Server) enqueueEpoch(batch []pending) {
 		s.stats.queueDepth.Set(float64(len(s.solveQ)))
 	default:
 		s.stats.epochRejected()
+		// A rejected epoch never reaches a worker: tell the delta chain so
+		// workers sequenced behind it do not wait forever.
+		s.deltaSkip(eb.epoch, eb.cell)
 		s.failBatch(batch, CodeQueueFull, ErrQueueFull.Error())
 	}
 }

@@ -94,6 +94,14 @@ type Stats struct {
 	ShardIndex int `json:"shardIndex"`
 	ShardCount int `json:"shardCount"`
 	CellsOwned int `json:"cellsOwned"`
+	// Delta-epoch serving counters (all zero when Delta is off):
+	// DeltaFullEpochs and DeltaRepairEpochs split epochs by how they were
+	// solved, DeltaDirtyUsers counts gain rows refreshed, DeltaRowsReused
+	// rows served from the cache instead of redrawn.
+	DeltaFullEpochs   uint64 `json:"deltaFullEpochs"`
+	DeltaRepairEpochs uint64 `json:"deltaRepairEpochs"`
+	DeltaDirtyUsers   uint64 `json:"deltaDirtyUsers"`
+	DeltaRowsReused   uint64 `json:"deltaRowsReused"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -153,6 +161,13 @@ type statsCollector struct {
 	shardIndex  *obs.Gauge
 	shardCount  *obs.Gauge
 	cellsOwned  *obs.Gauge
+
+	// Delta-epoch serving metrics: epochs by solve mode, refreshed gain
+	// rows, and cache-served rows (all zero when Delta is off).
+	deltaFull   *obs.Counter
+	deltaRepair *obs.Counter
+	deltaDirty  *obs.Counter
+	deltaReused *obs.Counter
 }
 
 func newStatsCollector(reg *obs.Registry) *statsCollector {
@@ -236,7 +251,28 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 			"Coordinator shards in the cluster (zero when unpartitioned)."),
 		cellsOwned: reg.Gauge("tsajs_coordinator_cells_owned",
 			"Cells this shard owns under the cluster's assignment table (zero when unpartitioned)."),
+		deltaFull: reg.Counter("tsajs_coordinator_delta_epochs_total",
+			"Delta-mode epochs by solve mode.",
+			obs.Label{Key: "mode", Value: "full"}),
+		deltaRepair: reg.Counter("tsajs_coordinator_delta_epochs_total",
+			"Delta-mode epochs by solve mode.",
+			obs.Label{Key: "mode", Value: "repair"}),
+		deltaDirty: reg.Counter("tsajs_coordinator_delta_dirty_users_total",
+			"Gain rows refreshed by the delta-epoch path (dirty users)."),
+		deltaReused: reg.Counter("tsajs_coordinator_delta_rows_reused_total",
+			"Gain rows served from the delta cache instead of redrawn."),
 	}
+}
+
+// deltaEpoch records one delta-mode epoch's classification outcome.
+func (c *statsCollector) deltaEpoch(full bool, refreshed, reused int) {
+	if full {
+		c.deltaFull.Inc()
+	} else {
+		c.deltaRepair.Inc()
+	}
+	c.deltaDirty.Add(uint64(refreshed))
+	c.deltaReused.Add(uint64(reused))
 }
 
 // frameRead counts one inbound protocol frame of n wire bytes.
@@ -366,6 +402,11 @@ func (c *statsCollector) snapshot() Stats {
 	s.ShardIndex = int(c.shardIndex.Value())
 	s.ShardCount = int(c.shardCount.Value())
 	s.CellsOwned = int(c.cellsOwned.Value())
+
+	s.DeltaFullEpochs = c.deltaFull.Value()
+	s.DeltaRepairEpochs = c.deltaRepair.Value()
+	s.DeltaDirtyUsers = c.deltaDirty.Value()
+	s.DeltaRowsReused = c.deltaReused.Value()
 	return s
 }
 

@@ -1,0 +1,283 @@
+// Package delta implements the incremental ("delta") epoch policy shared
+// by the dynamic replay and the C-RAN serving pipeline: a dirty-set
+// tracker that flags users whose position moved beyond a configurable
+// threshold since the previous epoch (plus users whose cached state is
+// unusable — never seen, returning after an idle epoch, or parked on a
+// failed server), and the gates that decide when an epoch must fall back
+// to a full solve instead of a scoped "repair" anneal.
+//
+// The contract the consumers rely on:
+//
+//   - Dirtiness is history-free: whether a user is dirty in epoch e
+//     depends only on the mobility trace, the activation history, and the
+//     fault plan — never on which threshold previous epochs ran with.
+//     With the drift gate disabled this makes dirty sets pointwise nested
+//     across thresholds (lower threshold ⊇ higher threshold), the
+//     property the metamorphic monotonicity suite asserts.
+//   - Threshold 0 marks every active user step-dirty, so the all-dirty
+//     gate fires every epoch and the run degenerates to a full solve per
+//     epoch — the reference run of the differential harness.
+//   - Full epochs are classified before any repair work happens, in a
+//     fixed order (reset, cadence, all-dirty, dirty-frac, drift), so the
+//     reason string in telemetry is deterministic.
+package delta
+
+import (
+	"fmt"
+
+	"github.com/tsajs/tsajs/internal/geom"
+)
+
+// Full-epoch reasons, in gate order. Repair epochs carry an empty reason.
+const (
+	// ReasonReset: the incumbent was lost (coordinator outage in the
+	// replay) and the next solved epoch must rebuild from scratch.
+	ReasonReset = "reset"
+	// ReasonCadence: the periodic FullEvery fallback fired.
+	ReasonCadence = "cadence"
+	// ReasonAllDirty: every active user is dirty, so a repair would scope
+	// to the whole population anyway.
+	ReasonAllDirty = "all-dirty"
+	// ReasonDirtyFrac: the dirty fraction exceeded MaxDirtyFrac.
+	ReasonDirtyFrac = "dirty-frac"
+	// ReasonDrift: some user accumulated DriftKm of displacement since its
+	// row was last refreshed (slow drift below the per-step threshold).
+	ReasonDrift = "drift"
+)
+
+// Config parametrizes the incremental epoch policy. A nil *Config on the
+// consumer side means the delta path is disabled entirely.
+type Config struct {
+	// MoveThresholdKm marks a user dirty when its position moved at least
+	// this far since the previous epoch. 0 marks every active user dirty,
+	// which makes every epoch a full solve (the differential reference).
+	MoveThresholdKm float64 `json:"moveThresholdKm"`
+	// FullEvery forces a full solve on every epoch whose index is a
+	// multiple of it, bounding how long errors from scoped repairs can
+	// compound. 0 defaults to 8.
+	FullEvery int `json:"fullEvery"`
+	// MaxDirtyFrac falls back to a full solve when more than this
+	// fraction of the active users is dirty (a repair that touches most
+	// users costs as much as a full solve and searches less). 0 defaults
+	// to 0.5.
+	MaxDirtyFrac float64 `json:"maxDirtyFrac"`
+	// DriftKm forces a full solve when any active user accumulated this
+	// much displacement since its gain rows were last refreshed, catching
+	// slow drift that stays under MoveThresholdKm every step. 0 disables
+	// the gate (and keeps the policy monotone in the threshold).
+	DriftKm float64 `json:"driftKm,omitempty"`
+	// RepairEvalsPerUser scales the repair anneal's evaluation budget
+	// with the dirty-set size. 0 defaults to 400.
+	RepairEvalsPerUser int `json:"repairEvalsPerUser"`
+	// RepairMinEvals floors the repair budget so tiny dirty sets still
+	// get a meaningful walk. 0 defaults to 600.
+	RepairMinEvals int `json:"repairMinEvals"`
+	// RepairTemp is the repair anneal's initial temperature. The repair
+	// starts from a near-optimal incumbent, so it runs much colder than a
+	// full solve (whose default initial temperature is the user count).
+	// 0 defaults to 0.5.
+	RepairTemp float64 `json:"repairTemp"`
+	// MaxTracked caps the per-user state the serving pipeline retains
+	// (row cache, last position, incumbent slot); the least recently seen
+	// users are evicted beyond it. 0 defaults to 8192. The replay tracker
+	// ignores it (the population is fixed and bounded).
+	MaxTracked int `json:"maxTracked,omitempty"`
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (c Config) WithDefaults() Config {
+	if c.FullEvery == 0 {
+		c.FullEvery = 8
+	}
+	if c.MaxDirtyFrac == 0 {
+		c.MaxDirtyFrac = 0.5
+	}
+	if c.RepairEvalsPerUser == 0 {
+		c.RepairEvalsPerUser = 400
+	}
+	if c.RepairMinEvals == 0 {
+		c.RepairMinEvals = 600
+	}
+	if c.RepairTemp == 0 {
+		c.RepairTemp = 0.5
+	}
+	if c.MaxTracked == 0 {
+		c.MaxTracked = 8192
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	switch {
+	case c.MoveThresholdKm < 0:
+		return fmt.Errorf("delta: move threshold must be non-negative, got %g km", c.MoveThresholdKm)
+	case c.FullEvery < 1:
+		return fmt.Errorf("delta: full-solve cadence must be positive, got %d", c.FullEvery)
+	case c.MaxDirtyFrac < 0 || c.MaxDirtyFrac > 1:
+		return fmt.Errorf("delta: max dirty fraction must be in [0,1], got %g", c.MaxDirtyFrac)
+	case c.DriftKm < 0:
+		return fmt.Errorf("delta: drift gate must be non-negative, got %g km", c.DriftKm)
+	case c.RepairEvalsPerUser < 1:
+		return fmt.Errorf("delta: repair evaluations per user must be positive, got %d", c.RepairEvalsPerUser)
+	case c.RepairMinEvals < 1:
+		return fmt.Errorf("delta: repair evaluation floor must be positive, got %d", c.RepairMinEvals)
+	case c.RepairTemp <= 0:
+		return fmt.Errorf("delta: repair temperature must be positive, got %g", c.RepairTemp)
+	case c.MaxTracked < 1:
+		return fmt.Errorf("delta: tracked-user cap must be positive, got %d", c.MaxTracked)
+	}
+	return nil
+}
+
+// RepairBudget returns the evaluation budget for a repair anneal over the
+// given dirty-set size: RepairEvalsPerUser·dirty floored at RepairMinEvals
+// and capped at the full solve's budget (a repair must never out-spend the
+// epoch it replaces). fullBudget <= 0 means uncapped.
+func (c Config) RepairBudget(dirty, fullBudget int) int {
+	b := c.RepairEvalsPerUser * dirty
+	if b < c.RepairMinEvals {
+		b = c.RepairMinEvals
+	}
+	if fullBudget > 0 && b > fullBudget {
+		b = fullBudget
+	}
+	return b
+}
+
+// Plan is the tracker's verdict for one epoch.
+type Plan struct {
+	// Full reports whether the epoch must run a full solve; Reason names
+	// the gate that fired (one of the Reason constants).
+	Full   bool
+	Reason string
+	// Dirty lists the dirty users as indices into the epoch's active
+	// slice (not population indices), ascending. On a full epoch it still
+	// holds the classification, but the consumer refreshes every active
+	// user regardless.
+	Dirty []int
+	// StepDirty counts how many of the dirty users were flagged by the
+	// movement threshold specifically (versus forced or first-seen).
+	StepDirty int
+}
+
+// Rows returns how many gain-tensor rows the epoch refreshes: every
+// active user on a full epoch, the dirty set on a repair epoch.
+func (p Plan) Rows(active int) int {
+	if p.Full {
+		return active
+	}
+	return len(p.Dirty)
+}
+
+// Tracker classifies each replay epoch's active users into dirty and
+// clean and gates full-solve fallbacks. It is population-indexed and
+// never evicts, which is what keeps classification history-free: a user's
+// refreshed flag equals "was active in some earlier epoch", independent
+// of the threshold the run used.
+type Tracker struct {
+	cfg Config
+	// lastPos is every user's position at the previous epoch (step
+	// displacement reference); refreshPos the position at the last gain
+	// refresh (drift reference); refreshed whether the user has ever had
+	// rows drawn.
+	lastPos    []geom.Point
+	refreshPos []geom.Point
+	refreshed  []bool
+	// forceFull marks that the incumbent was lost (coordinator outage)
+	// and the next solved epoch must be full.
+	forceFull bool
+	started   bool
+}
+
+// NewTracker builds a tracker for a population of n users. The config is
+// defaulted; it must have passed Validate.
+func NewTracker(cfg Config, n int) *Tracker {
+	return &Tracker{
+		cfg:        cfg.WithDefaults(),
+		lastPos:    make([]geom.Point, n),
+		refreshPos: make([]geom.Point, n),
+		refreshed:  make([]bool, n),
+	}
+}
+
+// Plan classifies the epoch. active lists the population indices holding
+// a task, pos yields any user's current position, and forced (optional)
+// marks users that must be re-placed regardless of movement — typically
+// users whose incumbent slot sits on a failed server or who were inactive
+// in the previous epoch (their carried slot is Local, so only a repair
+// that targets them can offload them again).
+//
+// Plan also advances the tracker: lastPos moves to the current positions
+// for the whole population, and the users the consumer will refresh
+// (every active user on a full epoch, the dirty set otherwise) get their
+// refreshed flag and refreshPos updated. Call it exactly once per solved
+// epoch; use Skip for epochs with no solve.
+func (t *Tracker) Plan(epoch int, active []int, pos func(int) geom.Point, forced func(int) bool) Plan {
+	p := Plan{}
+	for i, u := range active {
+		cur := pos(u)
+		switch {
+		case !t.refreshed[u]:
+			p.Dirty = append(p.Dirty, i)
+		case t.started && cur.Dist(t.lastPos[u]) >= t.cfg.MoveThresholdKm:
+			p.Dirty = append(p.Dirty, i)
+			p.StepDirty++
+		case forced != nil && forced(u):
+			p.Dirty = append(p.Dirty, i)
+		}
+	}
+
+	switch {
+	case t.forceFull:
+		p.Full, p.Reason = true, ReasonReset
+	case epoch%t.cfg.FullEvery == 0:
+		p.Full, p.Reason = true, ReasonCadence
+	case len(p.Dirty) == len(active):
+		p.Full, p.Reason = true, ReasonAllDirty
+	case float64(len(p.Dirty)) > t.cfg.MaxDirtyFrac*float64(len(active)):
+		p.Full, p.Reason = true, ReasonDirtyFrac
+	case t.cfg.DriftKm > 0:
+		for _, u := range active {
+			if t.refreshed[u] && pos(u).Dist(t.refreshPos[u]) >= t.cfg.DriftKm {
+				p.Full, p.Reason = true, ReasonDrift
+				break
+			}
+		}
+	}
+
+	if p.Full {
+		t.forceFull = false
+		for _, u := range active {
+			t.refreshed[u] = true
+			t.refreshPos[u] = pos(u)
+		}
+	} else {
+		for _, i := range p.Dirty {
+			u := active[i]
+			t.refreshed[u] = true
+			t.refreshPos[u] = pos(u)
+		}
+	}
+	t.step(pos)
+	return p
+}
+
+// Skip advances the tracker over an epoch with no solve — an empty active
+// set, or a coordinator outage. lostIncumbent marks that the previous
+// decision no longer exists, forcing the next solved epoch to a full
+// solve (reason "reset").
+func (t *Tracker) Skip(pos func(int) geom.Point, lostIncumbent bool) {
+	if lostIncumbent {
+		t.forceFull = true
+	}
+	t.step(pos)
+}
+
+func (t *Tracker) step(pos func(int) geom.Point) {
+	for u := range t.lastPos {
+		t.lastPos[u] = pos(u)
+	}
+	t.started = true
+}

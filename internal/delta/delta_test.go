@@ -1,0 +1,217 @@
+package delta
+
+import (
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/geom"
+	"github.com/tsajs/tsajs/internal/simrand"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.FullEvery != 8 || c.MaxDirtyFrac != 0.5 || c.RepairEvalsPerUser != 400 ||
+		c.RepairMinEvals != 600 || c.RepairTemp != 0.5 || c.MaxTracked != 8192 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid after defaulting: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MoveThresholdKm: -1},
+		{FullEvery: -3},
+		{MaxDirtyFrac: 2},
+		{DriftKm: -0.1},
+		{RepairEvalsPerUser: -5},
+		{RepairMinEvals: -5},
+		{RepairTemp: -1},
+		{MaxTracked: -2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, c)
+		}
+	}
+}
+
+func TestRepairBudget(t *testing.T) {
+	c := Config{RepairEvalsPerUser: 100, RepairMinEvals: 250}.WithDefaults()
+	if got := c.RepairBudget(1, 4000); got != 250 {
+		t.Errorf("floor: got %d, want 250", got)
+	}
+	if got := c.RepairBudget(5, 4000); got != 500 {
+		t.Errorf("linear: got %d, want 500", got)
+	}
+	if got := c.RepairBudget(100, 4000); got != 4000 {
+		t.Errorf("cap: got %d, want 4000", got)
+	}
+	if got := c.RepairBudget(100, 0); got != 10000 {
+		t.Errorf("uncapped: got %d, want 10000", got)
+	}
+}
+
+// walk synthesizes a deterministic mobility trace: per epoch, each user
+// displaces by a random step whose length varies user to user, so any
+// positive threshold splits the population.
+func walk(rng *simrand.Source, n, epochs int) [][]geom.Point {
+	pos := make([][]geom.Point, epochs)
+	pos[0] = make([]geom.Point, n)
+	for u := range pos[0] {
+		pos[0][u] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	for e := 1; e < epochs; e++ {
+		pos[e] = make([]geom.Point, n)
+		for u := range pos[e] {
+			step := 0.05 * rng.Float64()
+			pos[e][u] = geom.Point{X: pos[e-1][u].X + step, Y: pos[e-1][u].Y}
+		}
+	}
+	return pos
+}
+
+// TestTrackerNestedAcrossThresholds is the tracker-level metamorphic
+// property: over the same trajectory and activation history, the dirty
+// set at a higher threshold is a subset of the dirty set at any lower
+// threshold, and a full verdict at the higher threshold implies one at
+// the lower (drift gate off).
+func TestTrackerNestedAcrossThresholds(t *testing.T) {
+	const n, epochs = 20, 15
+	rng := simrand.New(99)
+	pos := walk(rng, n, epochs)
+	active := make([][]int, epochs)
+	for e := range active {
+		for u := 0; u < n; u++ {
+			if rng.Float64() < 0.8 {
+				active[e] = append(active[e], u)
+			}
+		}
+	}
+
+	thresholds := []float64{0, 0.01, 0.02, 0.04, 1e9}
+	trackers := make([]*Tracker, len(thresholds))
+	for i, th := range thresholds {
+		trackers[i] = NewTracker(Config{MoveThresholdKm: th, FullEvery: 6}, n)
+	}
+	for e := 0; e < epochs; e++ {
+		plans := make([]Plan, len(trackers))
+		for i, tr := range trackers {
+			p := pos[e]
+			plans[i] = tr.Plan(e, active[e], func(u int) geom.Point { return p[u] }, nil)
+		}
+		for i := 1; i < len(plans); i++ {
+			lo, hi := plans[i-1], plans[i]
+			inLo := make(map[int]bool, len(lo.Dirty))
+			for _, idx := range lo.Dirty {
+				inLo[idx] = true
+			}
+			for _, idx := range hi.Dirty {
+				if !inLo[idx] {
+					t.Fatalf("epoch %d: user index %d dirty at threshold %g but clean at %g",
+						e, idx, thresholds[i], thresholds[i-1])
+				}
+			}
+			if hi.Full && !lo.Full {
+				t.Fatalf("epoch %d: full at threshold %g but repair at %g", e, thresholds[i], thresholds[i-1])
+			}
+			if hi.Rows(len(active[e])) > lo.Rows(len(active[e])) {
+				t.Fatalf("epoch %d: threshold %g refreshes more rows than %g", e, thresholds[i], thresholds[i-1])
+			}
+		}
+	}
+}
+
+func TestTrackerGates(t *testing.T) {
+	const n = 10
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	still := func(int) geom.Point { return geom.Point{} }
+
+	tr := NewTracker(Config{MoveThresholdKm: 0.01, FullEvery: 4}, n)
+	if p := tr.Plan(0, all, still, nil); !p.Full || p.Reason != ReasonCadence {
+		t.Fatalf("epoch 0: %+v, want cadence full (epoch%%4 == 0)", p)
+	}
+	// Nobody moves: repair epochs with an empty dirty set until the
+	// cadence comes around again.
+	for e := 1; e < 4; e++ {
+		if p := tr.Plan(e, all, still, nil); p.Full || len(p.Dirty) != 0 {
+			t.Fatalf("epoch %d: %+v, want clean repair", e, p)
+		}
+	}
+	if p := tr.Plan(4, all, still, nil); !p.Full || p.Reason != ReasonCadence {
+		t.Fatalf("epoch 4: %+v, want cadence full", p)
+	}
+
+	// Everyone jumps: the all-dirty gate fires before dirty-frac.
+	jump := func(int) geom.Point { return geom.Point{X: 5} }
+	if p := tr.Plan(5, all, jump, nil); !p.Full || p.Reason != ReasonAllDirty || p.StepDirty != n {
+		t.Fatalf("epoch 5: %+v, want all-dirty full with %d step-dirty", p, n)
+	}
+
+	// A forced majority trips dirty-frac without any movement.
+	if p := tr.Plan(6, all, jump, func(u int) bool { return u < 6 }); !p.Full || p.Reason != ReasonDirtyFrac {
+		t.Fatalf("epoch 6: %+v, want dirty-frac full", p)
+	}
+
+	// Skip with a lost incumbent forces the next epoch full.
+	tr.Skip(jump, true)
+	if p := tr.Plan(7, all, jump, nil); !p.Full || p.Reason != ReasonReset {
+		t.Fatalf("epoch 7 after lost incumbent: %+v, want reset full", p)
+	}
+}
+
+// TestTrackerDriftGate: users creeping below the per-step threshold
+// accumulate displacement since their last refresh until the drift gate
+// forces a full solve.
+func TestTrackerDriftGate(t *testing.T) {
+	const n = 4
+	all := []int{0, 1, 2, 3}
+	tr := NewTracker(Config{MoveThresholdKm: 0.05, FullEvery: 100, DriftKm: 0.1}, n)
+	x := 0.0
+	at := func(int) geom.Point { return geom.Point{X: x} }
+	if p := tr.Plan(0, all, at, nil); !p.Full {
+		t.Fatalf("epoch 0: %+v", p)
+	}
+	sawDrift := false
+	for e := 1; e <= 10; e++ {
+		x += 0.02 // below the 0.05 step threshold, accumulating
+		p := tr.Plan(e, all, at, nil)
+		if p.Full {
+			if p.Reason != ReasonDrift {
+				t.Fatalf("epoch %d: full with reason %q, want drift", e, p.Reason)
+			}
+			sawDrift = true
+			break
+		}
+		if len(p.Dirty) != 0 {
+			t.Fatalf("epoch %d: creeping users marked step-dirty: %+v", e, p)
+		}
+	}
+	if !sawDrift {
+		t.Fatal("drift gate never fired over 0.2 km of creep")
+	}
+}
+
+// TestTrackerFirstActivationIsDirty: a user first seen in epoch e has no
+// cached rows and must be dirty regardless of movement; once refreshed,
+// standing still keeps it clean.
+func TestTrackerFirstActivationIsDirty(t *testing.T) {
+	tr := NewTracker(Config{MoveThresholdKm: 0.05, FullEvery: 100}, 3)
+	still := func(int) geom.Point { return geom.Point{} }
+	if p := tr.Plan(0, []int{0, 1}, still, nil); !p.Full {
+		t.Fatalf("epoch 0: %+v", p)
+	}
+	p := tr.Plan(1, []int{0, 1, 2}, still, nil)
+	if p.Full {
+		t.Fatalf("epoch 1 unexpectedly full: %+v", p)
+	}
+	if len(p.Dirty) != 1 || p.Dirty[0] != 2 {
+		t.Fatalf("epoch 1 dirty = %v, want just the newcomer at active index 2", p.Dirty)
+	}
+	if p.StepDirty != 0 {
+		t.Fatalf("newcomer counted as step-dirty: %+v", p)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/tsajs/tsajs/internal/assign"
 	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/delta"
 	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/mobility"
@@ -23,6 +24,7 @@ import (
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
 	"github.com/tsajs/tsajs/internal/solver"
+	"github.com/tsajs/tsajs/internal/task"
 	"github.com/tsajs/tsajs/internal/units"
 )
 
@@ -72,6 +74,20 @@ type Config struct {
 	// built-in TTSA scheduler for the solver stream; a custom Scheduler
 	// still gets the epoch stream.
 	Metrics *obs.Registry
+	// Delta, when non-nil, runs the incremental epoch path: gain-tensor
+	// rows are redrawn only for users whose position moved beyond the
+	// configured threshold (from per-(epoch,user) derived RNG streams, so
+	// every epoch's channel is a pure function of the seed and the
+	// trajectory), and the solve becomes a short repair anneal scoped to
+	// the dirty users with the previous epoch's decision as incumbent,
+	// falling back to a full cold solve on the configured gates. Requires
+	// the built-in TTSA scheduler, a single chain, and WarmStart off (the
+	// delta path manages its own incumbent). Note the delta path's RNG
+	// stream discipline differs from the sequential draws of the default
+	// path, so delta results are not comparable draw-for-draw with
+	// Delta == nil runs — the reference for a delta run is the same
+	// config with MoveThresholdKm = 0 (a full solve every epoch).
+	Delta *delta.Config
 	// FaultPlan, when non-nil, injects the plan's failures into the run:
 	// epochs where the coordinator is down degrade every active user to
 	// local execution, and failed edge servers are masked out of the search
@@ -118,6 +134,17 @@ func (c Config) Validate() error {
 	case c.FaultPlan != nil && c.FaultPlan.Servers() != c.Params.NumServers:
 		return fmt.Errorf("dynamic: fault plan covers %d servers, network has %d",
 			c.FaultPlan.Servers(), c.Params.NumServers)
+	case c.Delta != nil && c.Scheduler != nil:
+		return errors.New("dynamic: delta epochs require the built-in TTSA scheduler")
+	case c.Delta != nil && c.WarmStart:
+		return errors.New("dynamic: delta epochs manage their own incumbent; disable WarmStart")
+	case c.Delta != nil && c.Chains > 1:
+		return errors.New("dynamic: delta epochs run a single chain; disable the portfolio")
+	}
+	if c.Delta != nil {
+		if err := c.Delta.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -147,6 +174,17 @@ type EpochMetrics struct {
 	// unreachable, so every active user executed locally (Eq. 1 cost,
 	// zero utility) without any scheduling.
 	CoordinatorDown bool `json:"coordinatorDown,omitempty"`
+	// Delta-path accounting (zero without Config.Delta): DeltaFull marks
+	// a full-solve epoch with DeltaReason naming the gate that fired
+	// (delta.Reason*); DeltaDirty counts the gain-tensor rows refreshed —
+	// every active user on a full epoch, the dirty set on a repair epoch.
+	DeltaFull   bool   `json:"deltaFull,omitempty"`
+	DeltaReason string `json:"deltaReason,omitempty"`
+	DeltaDirty  int    `json:"deltaDirty,omitempty"`
+	// DeltaIncumbent is the utility of the carried (post-masking)
+	// incumbent a repair epoch started from — the floor the repair's
+	// Utility can never undercut. Zero on full epochs.
+	DeltaIncumbent float64 `json:"deltaIncumbent,omitempty"`
 }
 
 // Result aggregates a full run.
@@ -168,6 +206,12 @@ type Result struct {
 	CoordinatorAvailability float64 `json:"coordinatorAvailability"`
 	DegradedEpochs          int     `json:"degradedEpochs"`
 	TotalEvacuated          int     `json:"totalEvacuated"`
+	// Delta-path summary (zero without Config.Delta): solved epochs that
+	// fell back to a full solve vs ran a scoped repair, and the total
+	// gain-tensor rows refreshed across the run.
+	DeltaFullEpochs   int `json:"deltaFullEpochs,omitempty"`
+	DeltaRepairEpochs int `json:"deltaRepairEpochs,omitempty"`
+	DeltaDirtyUsers   int `json:"deltaDirtyUsers,omitempty"`
 }
 
 // Run executes the online simulation.
@@ -176,6 +220,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Delta != nil {
+		return runDelta(cfg)
+	}
 
 	root := simrand.New(cfg.Seed)
 	moveRNG := root.Derive(0x6d6f7665)  // "move"
@@ -375,35 +422,46 @@ func Run(cfg Config) (*Result, error) {
 		}))
 	}
 
-	for _, e := range res.Epochs {
-		res.TotalUtility += e.Utility
-		res.TotalSolveTime += e.SolveTime
-		res.TotalEvaluations += e.Evaluations
-		res.MeanActive += float64(e.Active)
-		res.MeanOffloaded += float64(e.Offloaded)
-		res.ServerAvailability += 1 - float64(e.DownServers)/float64(cfg.Params.NumServers)
-		if e.CoordinatorDown {
-			res.DegradedEpochs++
-		} else {
-			res.CoordinatorAvailability++
-		}
-		res.TotalEvacuated += e.Evacuated
-	}
-	n := float64(len(res.Epochs))
-	res.MeanActive /= n
-	res.MeanOffloaded /= n
-	res.ServerAvailability /= n
-	res.CoordinatorAvailability /= n
+	res.summarize(cfg.Params.NumServers, false)
 	return res, nil
+}
+
+// summarize fills the aggregate fields from the per-epoch records. delta
+// marks a delta-path run, whose solved epochs additionally roll up into
+// the full/repair/dirty counters.
+func (r *Result) summarize(numServers int, delta bool) {
+	for _, e := range r.Epochs {
+		r.TotalUtility += e.Utility
+		r.TotalSolveTime += e.SolveTime
+		r.TotalEvaluations += e.Evaluations
+		r.MeanActive += float64(e.Active)
+		r.MeanOffloaded += float64(e.Offloaded)
+		r.ServerAvailability += 1 - float64(e.DownServers)/float64(numServers)
+		if e.CoordinatorDown {
+			r.DegradedEpochs++
+		} else {
+			r.CoordinatorAvailability++
+		}
+		r.TotalEvacuated += e.Evacuated
+		if delta && e.Active > 0 && !e.CoordinatorDown {
+			if e.DeltaFull {
+				r.DeltaFullEpochs++
+			} else {
+				r.DeltaRepairEpochs++
+			}
+			r.DeltaDirtyUsers += e.DeltaDirty
+		}
+	}
+	n := float64(len(r.Epochs))
+	r.MeanActive /= n
+	r.MeanOffloaded /= n
+	r.ServerAvailability /= n
+	r.CoordinatorAvailability /= n
 }
 
 // buildEpochScenario assembles the static snapshot of the active users at
 // their current positions with a fresh channel realization.
 func buildEpochScenario(p scenario.Params, sites []geom.Point, pop *mobility.Population, active []int, taskRNG, radioRNG *simrand.Source) (*scenario.Scenario, error) {
-	servers := make([]scenario.Server, len(sites))
-	for i, pos := range sites {
-		servers[i] = scenario.Server{Pos: pos, FHz: p.ServerFreqHz}
-	}
 	positions := make([]geom.Point, len(active))
 	for i, u := range active {
 		positions[i] = pop.Position(u)
@@ -416,7 +474,18 @@ func buildEpochScenario(p scenario.Params, sites []geom.Point, pop *mobility.Pop
 	if err != nil {
 		return nil, err
 	}
-	users := make([]scenario.User, len(active))
+	return assembleEpochScenario(p, sites, positions, tasks, gain)
+}
+
+// assembleEpochScenario packages pre-drawn positions, tasks, and gains
+// into a finalized scenario — the shared tail of the full and delta epoch
+// builders.
+func assembleEpochScenario(p scenario.Params, sites []geom.Point, positions []geom.Point, tasks []task.Task, gain radio.GainTensor) (*scenario.Scenario, error) {
+	servers := make([]scenario.Server, len(sites))
+	for i, pos := range sites {
+		servers[i] = scenario.Server{Pos: pos, FHz: p.ServerFreqHz}
+	}
+	users := make([]scenario.User, len(positions))
 	for i := range users {
 		users[i] = scenario.User{
 			Pos:        positions[i],

@@ -135,6 +135,69 @@ func NewGainTensorInto(buf []float64, m PathLossModel, users, sites []geom.Point
 	return h, nil
 }
 
+// NewTensorBuffer returns an all-zero tensor of the given shape for
+// callers that fill user blocks individually — the delta-epoch path
+// refreshes dirty users via RefreshUser and copies cached rows into
+// clean users' blocks. The zero gains are invalid until every block is
+// filled (Validate rejects them).
+func NewTensorBuffer(users, sites, channels int) GainTensor {
+	return GainTensor{
+		data:     make([]float64, users*sites*channels),
+		sites:    sites,
+		channels: channels,
+	}
+}
+
+// TensorInto is NewTensorBuffer over a caller-owned backing buffer, grown
+// only when too small — the serving pipeline's per-worker epoch scratch.
+// The returned tensor's contents are whatever the buffer held; every user
+// block must be filled (RefreshUser or a cached-row copy) before use.
+func TensorInto(buf []float64, users, sites, channels int) GainTensor {
+	need := users * sites * channels
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	return GainTensor{
+		data:     buf[:need],
+		sites:    sites,
+		channels: channels,
+	}
+}
+
+// UserBlock returns user u's contiguous S·N gain block — rows (u,0..S)
+// back to back. Unlike Row it is documented mutable: tensor assembly
+// copies cached rows through it. Finalized scenarios still treat the
+// tensor as immutable.
+func (h GainTensor) UserBlock(u int) []float64 {
+	base := u * h.sites * h.channels
+	return h.data[base : base+h.sites*h.channels : base+h.sites*h.channels]
+}
+
+// RefreshUser redraws user u's gain block in place for a new position:
+// per site a fresh shadowing term, per subchannel a fresh
+// frequency-selective term — exactly the draw order NewGainTensorInto
+// uses for one user, so refreshing user u from a stream dedicated to
+// (epoch, u) is bit-identical to drawing a whole tensor whose user-u
+// section consumed the same stream. This is the delta-epoch path's
+// row-level recomputation: only dirty users pay the redraw.
+func (h GainTensor) RefreshUser(m PathLossModel, u int, pos geom.Point, sites []geom.Point, rng *simrand.Source) error {
+	if u < 0 || u >= h.Users() {
+		return fmt.Errorf("radio: refresh user %d out of range [0,%d)", u, h.Users())
+	}
+	if len(sites) != h.sites {
+		return fmt.Errorf("radio: refresh with %d sites, tensor has %d", len(sites), h.sites)
+	}
+	i := u * h.sites * h.channels
+	for _, sp := range sites {
+		base := m.MeanGain(pos.Dist(sp)) * rng.LogNormalDB(m.ShadowStdDB)
+		for j := 0; j < h.channels; j++ {
+			h.data[i] = base * rng.LogNormalDB(m.FreqSelStdDB)
+			i++
+		}
+	}
+	return nil
+}
+
 // TensorFromNested builds a GainTensor from the nested h[u][s][j]
 // representation (the JSON wire format and the natural literal form in
 // tests). Rows must be rectangular.

@@ -10,6 +10,7 @@ import (
 	"github.com/tsajs/tsajs/internal/chaos"
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/cran"
+	"github.com/tsajs/tsajs/internal/delta"
 	"github.com/tsajs/tsajs/internal/dynamic"
 	"github.com/tsajs/tsajs/internal/experiment"
 	"github.com/tsajs/tsajs/internal/faults"
@@ -90,6 +91,11 @@ type (
 	// DynamicConfig parametrizes the multi-epoch online simulation
 	// (mobility + stochastic task arrivals + per-epoch re-scheduling).
 	DynamicConfig = dynamic.Config
+	// DeltaConfig parametrizes delta-epoch incremental solving: dirty-set
+	// tracking by movement threshold, the full-solve cadence and drift
+	// gates, and the scoped repair anneal's budget. Wire it into
+	// DynamicConfig.Delta (replay) or CoordinatorConfig.Delta (serving).
+	DeltaConfig = delta.Config
 	// DynamicResult aggregates an online simulation run.
 	DynamicResult = dynamic.Result
 	// EpochMetrics is one scheduling round of an online simulation.
