@@ -32,6 +32,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzWireCodec$$' -fuzztime=10s ./internal/cran
 	go test -run='^$$' -fuzz='^FuzzShardRing$$' -fuzztime=5s ./internal/shard
 	go test -run='^$$' -fuzz='^FuzzDeltaEpoch$$' -fuzztime=10s ./internal/dynamic
+	go test -run='^$$' -fuzz='^FuzzPortfolioSelector$$' -fuzztime=5s ./internal/portfolio
 
 # Tier-1+ robustness check: vet, build, the full suite under the race
 # detector, and the fuzz smoke pass. CI and pre-merge runs should use
@@ -97,7 +98,11 @@ bench:
 # encode+decode cycle must stay at least 2x leaner than the JSON line codec.
 # BenchmarkDeltaEpoch pins the delta-epoch repair path's utility per dirty
 # fraction (fixed seeds make the metric deterministic at pinned iterations).
-QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch|BenchmarkServeEpochDegraded|BenchmarkWireCodec|BenchmarkDeltaEpoch)$$
+# BenchmarkPortfolioAdaptive pins the adaptive-vs-fixed portfolio utility
+# gap at a truncated budget (the selector is deterministic per seed, so at
+# pinned iterations both utilities are bit-comparable; adaptive must not
+# fall back to the fixed row's utility).
+QUICK_BENCH := ^(BenchmarkSystemUtility|BenchmarkKKTAllocation|BenchmarkNeighborhoodMove|BenchmarkIncrementalTTSA|BenchmarkSolveTSAJS_U30|BenchmarkServeEpoch|BenchmarkServeEpochDegraded|BenchmarkWireCodec|BenchmarkDeltaEpoch|BenchmarkPortfolioAdaptive/(fixed|adaptive))$$
 
 .PHONY: bench-check
 bench-check:

@@ -198,6 +198,47 @@ func BenchmarkPortfolioSolve(b *testing.B) {
 	b.Run("seq8", func(b *testing.B) { benchPortfolio(b, 8, 1) })
 }
 
+// benchPortfolioMode drives one portfolio — fixed homogeneous or adaptive
+// heterogeneous — through a rotating three-family workload (30/45/60
+// users), one epoch per iteration, under a truncated per-chain budget.
+// The truncation is what differentiates the roster: at full budget every
+// anneal converges and the members tie, which is exactly the regime where
+// the fixed default is the right choice. The reported "utility" metric is
+// the mean per-epoch utility at that fixed budget — the headline
+// utility-at-fixed-latency comparison (EXPERIMENTS.md Section 12).
+func benchPortfolioMode(b *testing.B, adaptive bool) {
+	scs := []*scenario.Scenario{
+		benchScenario(b, 30), benchScenario(b, 45), benchScenario(b, 60),
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = 4000
+	pf, err := portfolio.New(cfg, solver.PortfolioOptions{Chains: 4, Adaptive: adaptive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pf.Schedule(scs[i%len(scs)], simrand.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Utility
+	}
+	b.ReportMetric(total/float64(b.N), "utility")
+}
+
+// BenchmarkPortfolioAdaptive is the adaptive-portfolio headline gate:
+// identical chain count and evaluation budget, fixed vs adaptive. The
+// adaptive selector learns across iterations (the portfolio is stateful,
+// exactly as in serving), so at pinned iterations (-benchtime=50x in
+// bench-check) both utility metrics are deterministic and the
+// adaptive-over-fixed utility gap is bit-reproducible.
+func BenchmarkPortfolioAdaptive(b *testing.B) {
+	b.Run("fixed", func(b *testing.B) { benchPortfolioMode(b, false) })
+	b.Run("adaptive", func(b *testing.B) { benchPortfolioMode(b, true) })
+}
+
 // --- Ablation benches (DESIGN.md Section 5) ---
 
 // BenchmarkAblationCooling compares threshold-triggered cooling (the

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -71,6 +72,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 		deadline = fs.Duration("deadline", 0, "default per-request deadline; stale requests are shed at admission or dequeue (0 = none)")
 		brownout = fs.Bool("brownout", false, "degrade epoch solves under queue pressure (truncated anneal, then cheap heuristic) instead of shedding")
+
+		chains  = fs.Int("chains", 0, "solve every full-quality epoch as a K-chain portfolio (0/1 = single TTSA chain)")
+		pfMode  = fs.String("portfolio", "fixed", "portfolio budget allocation: fixed (round-robin, bit-identical across worker counts) or adaptive (online bandit selector; requires -chains > 1)")
+		members = fs.String("members", "", "comma-separated portfolio member roster (ttsa, ttsa-fast, ttsa-wide, attract, hjtora, greedy, cheap); empty = homogeneous ttsa, or the diverse default under -portfolio adaptive")
 
 		deltaOn     = fs.Bool("delta", false, "incremental delta-epoch solving: refresh only moved users' gain rows and repair-anneal around the previous epoch (incompatible with -brownout)")
 		deltaThresh = fs.Float64("delta-threshold-km", 0.05, "movement that marks a user dirty [km] (0 = every user, every epoch)")
@@ -106,6 +111,30 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 	ttsaCfg := tsajs.DefaultConfig()
 	ttsaCfg.MaxEvaluations = *budget
+
+	var pfOpts *tsajs.PortfolioOptions
+	switch *pfMode {
+	case "", "fixed":
+	case "adaptive":
+		if *chains <= 1 {
+			return fmt.Errorf("-portfolio adaptive requires -chains greater than 1")
+		}
+	default:
+		return fmt.Errorf("unknown -portfolio mode %q (want fixed or adaptive)", *pfMode)
+	}
+	roster, err := tsajs.ParsePortfolioMembers(*members)
+	if err != nil {
+		return err
+	}
+	if *chains > 1 {
+		pfOpts = &tsajs.PortfolioOptions{
+			Chains:   *chains,
+			Members:  roster,
+			Adaptive: *pfMode == "adaptive",
+		}
+	} else if roster != nil {
+		return fmt.Errorf("-members requires -chains greater than 1")
+	}
 
 	var deltaCfg *tsajs.DeltaConfig
 	if *deltaOn {
@@ -148,6 +177,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
 		Partition:       partition,
 		Delta:           deltaCfg,
+		Portfolio:       pfOpts,
 	})
 	if err != nil {
 		return err
@@ -199,6 +229,12 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(stdout, "delta: %d full epochs, %d repair epochs, %d dirty users, %d gain rows reused\n",
 			stats.DeltaFullEpochs, stats.DeltaRepairEpochs, stats.DeltaDirtyUsers, stats.DeltaRowsReused)
 	}
+	if pfOpts != nil {
+		for _, m := range sortedKeys(stats.PortfolioMemberSlots) {
+			fmt.Fprintf(stdout, "portfolio member %-10s slots=%-6d wins=%-6d budget=%.1fms\n",
+				m, stats.PortfolioMemberSlots[m], stats.PortfolioMemberWins[m], stats.PortfolioBudgetMs[m])
+		}
+	}
 	degraded := stats.EpochsDegradedTruncated + stats.EpochsDegradedCheap
 	shed := stats.ShedQueueFull + stats.ShedAdmission + stats.ShedExpired
 	if degraded+stats.EpochsExpired+shed > 0 {
@@ -208,6 +244,16 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			shed, stats.ShedQueueFull, stats.ShedAdmission, stats.ShedExpired)
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in ascending order for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // runRouter serves the cluster-router mode: a single JSON endpoint fanning

@@ -97,6 +97,17 @@ type report struct {
 	DeltaFullEpochs   uint64 `json:"deltaFullEpochs,omitempty"`
 	DeltaRepairEpochs uint64 `json:"deltaRepairEpochs,omitempty"`
 	DeltaRowsReused   uint64 `json:"deltaRowsReused,omitempty"`
+
+	// MeanEpochUtility is the average achieved system utility per epoch
+	// over the window — the quality axis of the utility-at-fixed-latency
+	// comparison between portfolio modes.
+	MeanEpochUtility float64 `json:"meanEpochUtility,omitempty"`
+
+	// Portfolio member view (absent without -chains > 1): per-member epoch
+	// wins over the window and each member's share of the window's
+	// chain-slot compute budget.
+	MemberWins        map[string]uint64  `json:"memberWins,omitempty"`
+	MemberBudgetShare map[string]float64 `json:"memberBudgetShare,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -126,6 +137,10 @@ func run(args []string, stdout io.Writer) error {
 		deltaOn     = fs.Bool("delta", false, "self-host: incremental delta-epoch solving (incompatible with -brownout)")
 		deltaThresh = fs.Float64("delta-threshold-km", 0.05, "self-host: movement that marks a user dirty [km] (0 = every user, every epoch)")
 
+		chains  = fs.Int("chains", 0, "self-host: solve every full-quality epoch as a K-chain portfolio (0/1 = single TTSA chain)")
+		pfMode  = fs.String("portfolio", "fixed", "self-host: portfolio budget allocation, fixed (round-robin) or adaptive (online bandit selector; requires -chains > 1)")
+		members = fs.String("members", "", "self-host: comma-separated portfolio member roster (ttsa, ttsa-fast, ttsa-wide, attract, hjtora, greedy, cheap); empty = homogeneous ttsa, or the diverse default under -portfolio adaptive")
+
 		shards       = fs.Int("shards", 0, "self-host: coordinator shards (0 = one unpartitioned coordinator; K >= 1 partitions the cells over a K-shard cluster)")
 		ringReplicas = fs.Int("ring-replicas", 0, "self-host: consistent-hash ring vnodes per shard (0 = default)")
 	)
@@ -146,6 +161,30 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-shards drives a self-hosted cluster and cannot combine with -addr")
 	}
 
+	var pfOpts *tsajs.PortfolioOptions
+	switch *pfMode {
+	case "", "fixed":
+	case "adaptive":
+		if *chains <= 1 {
+			return fmt.Errorf("-portfolio adaptive requires -chains greater than 1")
+		}
+	default:
+		return fmt.Errorf("unknown -portfolio mode %q (want fixed or adaptive)", *pfMode)
+	}
+	roster, err := tsajs.ParsePortfolioMembers(*members)
+	if err != nil {
+		return err
+	}
+	if *chains > 1 {
+		pfOpts = &tsajs.PortfolioOptions{
+			Chains:   *chains,
+			Members:  roster,
+			Adaptive: *pfMode == "adaptive",
+		}
+	} else if roster != nil {
+		return fmt.Errorf("-members requires -chains greater than 1")
+	}
+
 	params := defaults
 	params.NumServers = *servers
 	params.NumChannels = *channels
@@ -163,6 +202,7 @@ func run(args []string, stdout io.Writer) error {
 			DefaultDeadline: time.Duration(*deadlineMs * float64(time.Millisecond)),
 			Brownout:        tsajs.BrownoutConfig{Enabled: *brownout},
 			Partition:       partition,
+			Portfolio:       pfOpts,
 		}
 		if *chaos > 0 {
 			cfg.SolverChaos = &tsajs.SolverChaos{Seed: *seed, DelayProb: 1, Delay: *chaos}
@@ -310,6 +350,21 @@ func run(args []string, stdout io.Writer) error {
 	if rep.DeltaFullEpochs+rep.DeltaRepairEpochs > 0 {
 		fmt.Fprintf(stdout, "delta: %d full epochs, %d repair epochs, %d gain rows reused\n",
 			rep.DeltaFullEpochs, rep.DeltaRepairEpochs, rep.DeltaRowsReused)
+	}
+	if rep.MeanEpochUtility != 0 {
+		fmt.Fprintf(stdout, "utility: %.3f mean per epoch\n", rep.MeanEpochUtility)
+	}
+	if len(rep.MemberWins) > 0 {
+		names := make([]string, 0, len(rep.MemberWins))
+		for m := range rep.MemberWins {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		fmt.Fprint(stdout, "portfolio:")
+		for _, m := range names {
+			fmt.Fprintf(stdout, " %s=%d wins/%.0f%% budget", m, rep.MemberWins[m], 100*rep.MemberBudgetShare[m])
+		}
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }
@@ -499,6 +554,23 @@ func drive(opts driveOpts) (report, error) {
 	rep.DeltaFullEpochs = after.Stats.DeltaFullEpochs - before.Stats.DeltaFullEpochs
 	rep.DeltaRepairEpochs = after.Stats.DeltaRepairEpochs - before.Stats.DeltaRepairEpochs
 	rep.DeltaRowsReused = after.Stats.DeltaRowsReused - before.Stats.DeltaRowsReused
+	if epochs := after.Stats.Epochs - before.Stats.Epochs; epochs > 0 {
+		rep.MeanEpochUtility = (after.Stats.UtilitySum - before.Stats.UtilitySum) / float64(epochs)
+	}
+	if len(after.Stats.PortfolioMemberSlots) > 0 {
+		rep.MemberWins = make(map[string]uint64, len(after.Stats.PortfolioMemberWins))
+		rep.MemberBudgetShare = make(map[string]float64, len(after.Stats.PortfolioBudgetMs))
+		var totalBudget float64
+		for m, b := range after.Stats.PortfolioBudgetMs {
+			totalBudget += b - before.Stats.PortfolioBudgetMs[m]
+		}
+		for m := range after.Stats.PortfolioMemberSlots {
+			rep.MemberWins[m] = after.Stats.PortfolioMemberWins[m] - before.Stats.PortfolioMemberWins[m]
+			if totalBudget > 0 {
+				rep.MemberBudgetShare[m] = (after.Stats.PortfolioBudgetMs[m] - before.Stats.PortfolioBudgetMs[m]) / totalBudget
+			}
+		}
+	}
 	return rep, nil
 }
 

@@ -41,6 +41,9 @@ func run(args []string, stdout io.Writer) error {
 		warm     = fs.Bool("warm", false, "warm-start each epoch from the previous decision")
 		budget   = fs.Int("budget", 5000, "TTSA evaluation budget per epoch")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
+		chains   = fs.Int("chains", 0, "run every epoch's solve as a K-chain portfolio (0/1 = single TTSA chain)")
+		pfMode   = fs.String("portfolio", "fixed", "portfolio budget allocation: fixed (round-robin, bit-identical across worker counts) or adaptive (online bandit selector; requires -chains > 1)")
+		members  = fs.String("members", "", "comma-separated portfolio member roster (ttsa, ttsa-fast, ttsa-wide, attract, hjtora, greedy, cheap); empty = homogeneous ttsa, or the diverse default under -portfolio adaptive")
 
 		deltaOn      = fs.Bool("delta", false, "incremental delta-epoch solving (dirty-set tracking + scoped repair anneal)")
 		deltaThresh  = fs.Float64("delta-threshold-km", 0.05, "movement that marks a user dirty [km] (0 = every user, every epoch)")
@@ -58,6 +61,19 @@ func run(args []string, stdout io.Writer) error {
 			"", "write the run's metrics in Prometheus text format to this file after the replay (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var adaptive bool
+	switch *pfMode {
+	case "", "fixed":
+	case "adaptive":
+		adaptive = true
+	default:
+		return fmt.Errorf("unknown -portfolio mode %q (want fixed or adaptive)", *pfMode)
+	}
+	roster, err := tsajs.ParsePortfolioMembers(*members)
+	if err != nil {
 		return err
 	}
 
@@ -98,18 +114,21 @@ func run(args []string, stdout io.Writer) error {
 		reg = tsajs.NewMetricsRegistry()
 	}
 	res, err := tsajs.RunDynamic(tsajs.DynamicConfig{
-		Params:       params,
-		Epochs:       *epochs,
-		EpochSeconds: *epochSec,
-		ActiveProb:   *active,
-		SpeedKmHMin:  *speedMin,
-		SpeedKmHMax:  *speedMax,
-		WarmStart:    *warm,
-		TTSAConfig:   &ttsaCfg,
-		Seed:         *seed,
-		Metrics:      reg,
-		FaultPlan:    plan,
-		Delta:        deltaCfg,
+		Params:            params,
+		Epochs:            *epochs,
+		EpochSeconds:      *epochSec,
+		ActiveProb:        *active,
+		SpeedKmHMin:       *speedMin,
+		SpeedKmHMax:       *speedMax,
+		WarmStart:         *warm,
+		TTSAConfig:        &ttsaCfg,
+		Seed:              *seed,
+		Metrics:           reg,
+		FaultPlan:         plan,
+		Delta:             deltaCfg,
+		Chains:            *chains,
+		PortfolioMembers:  roster,
+		PortfolioAdaptive: adaptive,
 	})
 	if err != nil {
 		return err
@@ -144,6 +163,10 @@ func run(args []string, stdout io.Writer) error {
 	if deltaCfg != nil {
 		fmt.Fprintf(stdout, "delta: full-epochs=%d repair-epochs=%d dirty-users=%d\n",
 			res.DeltaFullEpochs, res.DeltaRepairEpochs, res.DeltaDirtyUsers)
+	}
+	for _, mt := range res.MemberTotals {
+		fmt.Fprintf(stdout, "member %-10s slots=%-4d wins=%-4d budget=%.1fms\n",
+			mt.Member, mt.Slots, mt.Wins, mt.BudgetMs)
 	}
 	if plan != nil {
 		fmt.Fprintf(stdout, "faults: server-availability=%.3f coordinator-availability=%.3f degraded-epochs=%d evacuated=%d\n",

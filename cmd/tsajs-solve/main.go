@@ -37,6 +37,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		chains  = fs.Int("chains", 1, "run the tsajs scheme as a K-chain multi-restart portfolio (deterministic per seed)")
 		workers = fs.Int("workers", 0, "portfolio worker cap (0 = GOMAXPROCS; affects speed only, never the result)")
 		shared  = fs.Bool("shared-incumbent", false, "share the best utility across portfolio chains (faster convergence, non-deterministic)")
+		pfMode  = fs.String("portfolio", "fixed", "portfolio budget allocation: fixed (round-robin, the reproducibility default) or adaptive (bandit selector)")
+		members = fs.String("members", "", "comma-separated portfolio member roster (ttsa, ttsa-fast, ttsa-wide, attract, hjtora, greedy, cheap); empty = homogeneous ttsa, or the diverse default under -portfolio adaptive")
 		detail  = fs.Bool("detail", false, "emit the full per-user report as JSON")
 		trace   = fs.String("trace", "", "write the TTSA convergence trace as CSV to this file (tsajs scheme only)")
 		cpu     = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
@@ -93,6 +95,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *chains < 1 {
 		return fmt.Errorf("-chains must be at least 1, got %d", *chains)
 	}
+	adaptive, err := parsePortfolioMode(*pfMode)
+	if err != nil {
+		return err
+	}
+	roster, err := tsajs.ParsePortfolioMembers(*members)
+	if err != nil {
+		return err
+	}
+	if (adaptive || roster != nil) && *chains <= 1 {
+		return fmt.Errorf("-portfolio adaptive and -members require -chains greater than 1")
+	}
 	if *chains > 1 {
 		lower := strings.ToLower(*scheme)
 		if lower != "tsajs" && lower != "ttsa" {
@@ -105,6 +118,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Chains:          *chains,
 			Workers:         *workers,
 			SharedIncumbent: *shared,
+			Members:         roster,
+			Adaptive:        adaptive,
 		})
 		if err != nil {
 			return err
@@ -172,6 +187,18 @@ func solveTraced(sc *tsajs.Scenario, scheme string, seed uint64, path string) (t
 		}
 	}
 	return res, f.Sync()
+}
+
+// parsePortfolioMode maps the -portfolio flag to PortfolioOptions.Adaptive.
+func parsePortfolioMode(mode string) (adaptive bool, err error) {
+	switch strings.ToLower(mode) {
+	case "", "fixed":
+		return false, nil
+	case "adaptive":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown -portfolio mode %q (want fixed or adaptive)", mode)
+	}
 }
 
 func schedulerFor(name string) (tsajs.Scheduler, error) {

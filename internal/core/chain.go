@@ -41,13 +41,30 @@ type ChainOptions struct {
 	// displaced occupants stay unrestricted. Nil reproduces the
 	// unrestricted draw sequence exactly.
 	Targets []int
+	// Config, when non-nil, overrides the solver's annealing configuration
+	// for this chain only — the heterogeneous-portfolio hook that lets one
+	// TTSA instance run slots with distinct cooling schedules and
+	// neighbourhood mixes. The override is validated and applied to a value
+	// copy of the solver, so the receiver is never mutated and concurrent
+	// chains with different configs never interfere. Nil reproduces the
+	// solver's own config exactly.
+	Config *Config
 }
 
 // ScheduleChain runs one Algorithm 1 chain with the given portfolio
-// machinery. With a nil Incumbent the result is bit-identical to
-// Schedule (nil Initial) or ScheduleFrom (non-nil Initial) on the same
-// scenario and rng state.
+// machinery. With a nil Incumbent and nil Config the result is
+// bit-identical to Schedule (nil Initial) or ScheduleFrom (non-nil
+// Initial) on the same scenario and rng state.
 func (t *TTSA) ScheduleChain(sc *scenario.Scenario, rng *simrand.Source, opts ChainOptions) (solver.Result, error) {
+	if opts.Config != nil {
+		if err := opts.Config.Validate(); err != nil {
+			return solver.Result{}, err
+		}
+		tt := *t
+		tt.cfg = *opts.Config
+		res, _, err := tt.runChain(sc, rng, false, opts)
+		return res, err
+	}
 	res, _, err := t.runChain(sc, rng, false, opts)
 	return res, err
 }

@@ -119,14 +119,16 @@ func (s *Server) enqueueCellEpochs(batch []pending) {
 			gainRNG:   base.Derive(epoch ^ gainStreamLabel),
 			collected: now,
 		}
+		eb.plan = s.planEpoch(cell, epoch, tier, eb.solveRNG)
 		select {
 		case s.solveQ <- eb:
 			s.stats.queueDepth.Set(float64(len(s.solveQ)))
 		default:
 			s.stats.epochRejected()
 			// A rejected cell epoch never reaches a worker: unblock the
-			// cell's delta chain.
+			// cell's delta chain and record the skip with its selector.
 			s.deltaSkip(eb.epoch, eb.cell)
+			s.skipPlan(eb)
 			s.failBatch(eb.batch, CodeQueueFull, ErrQueueFull.Error())
 		}
 		start = end

@@ -14,6 +14,7 @@ import (
 	"github.com/tsajs/tsajs/internal/core"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/radio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
@@ -50,6 +51,12 @@ type epochBatch struct {
 	solveRNG  *simrand.Source
 	gainRNG   *simrand.Source
 	collected time.Time
+	// plan, when non-nil, routes this full-tier epoch through the
+	// heterogeneous portfolio: slot i runs roster member plan[i]. Stamped
+	// in the collector (fixed round-robin, or the adaptive selector's
+	// allocation); nil epochs dispatch to the single-chain tier solvers as
+	// before the portfolio existed.
+	plan []int
 	// dequeued is stamped by the solver worker when it picks the epoch up —
 	// after any injected chaos delay, immediately before the expiry filter.
 	// It is the reference time of the "no deadline-expired full solves"
@@ -68,6 +75,7 @@ type solveWorker struct {
 	ttsa          *core.TTSA
 	ttsaTruncated *core.TTSA
 	cheap         *baseline.Cheap
+	pf            *portfolio.Portfolio
 
 	users     []scenario.User
 	positions []geom.Point
@@ -76,7 +84,7 @@ type solveWorker struct {
 }
 
 func (s *Server) newSolveWorker() *solveWorker {
-	return &solveWorker{srv: s, ttsa: s.ttsa, ttsaTruncated: s.ttsaTruncated, cheap: s.cheap}
+	return &solveWorker{srv: s, ttsa: s.ttsa, ttsaTruncated: s.ttsaTruncated, cheap: s.cheap, pf: s.pf}
 }
 
 // loop drains the solve queue until the collector closes it. A batch queued
@@ -90,12 +98,14 @@ func (w *solveWorker) loop() {
 		s.stats.queueDepth.Set(float64(len(s.solveQ)))
 		select {
 		case <-s.quit:
+			s.skipPlan(eb)
 			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
 			continue
 		default:
 		}
 		started := time.Now()
 		if !s.chaosDelay(eb.epoch, started) {
+			s.skipPlan(eb)
 			s.failBatch(eb.batch, CodeShutdown, "coordinator shutting down")
 			continue
 		}
@@ -119,6 +129,7 @@ func (w *solveWorker) loop() {
 			if ch != nil {
 				ch.advance()
 			}
+			s.skipPlan(eb)
 			s.stats.epochExpired()
 			s.noteServiceTime(started)
 			continue
@@ -184,11 +195,13 @@ func (w *solveWorker) expireBatch(eb epochBatch) []pending {
 
 // solveEpochSafe confines a panic in the scheduling path to the epoch that
 // caused it: the batch is failed with an error response and the worker keeps
-// serving subsequent epochs.
+// serving subsequent epochs. The selector skip is idempotent, so a panic
+// after a successful commit cannot double-count the epoch.
 func (w *solveWorker) solveEpochSafe(eb epochBatch) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.srv.stats.panicRecovered()
+			w.srv.skipPlan(eb)
 			w.srv.failBatch(eb.batch, CodeInternal, fmt.Sprintf("internal error: %v", r))
 		}
 	}()
@@ -229,18 +242,24 @@ func (w *solveWorker) solveEpoch(eb epochBatch) {
 	}
 	sc, err := w.buildScenario(eb)
 	if err != nil {
+		s.skipPlan(eb)
 		s.failBatch(eb.batch, CodeInternal, "epoch scenario: "+err.Error())
 		return
 	}
-	res, err := w.schedule(eb, sc)
+	res, outcomes, err := w.schedule(eb, sc)
 	if err != nil {
+		s.skipPlan(eb)
 		s.failBatch(eb.batch, CodeInternal, "scheduling: "+err.Error())
 		return
 	}
 	if err := solver.Verify(sc, res); err != nil {
+		s.skipPlan(eb)
 		s.failBatch(eb.batch, CodeInternal, "verification: "+err.Error())
 		return
 	}
+	// Commit before answering: the selector's learning prefix must include
+	// this epoch before any later epoch's plan can depend on it.
+	s.commitPlan(eb, outcomes)
 	w.finishEpoch(eb, sc, res)
 }
 
@@ -286,15 +305,24 @@ func (w *solveWorker) finishEpoch(eb epochBatch, sc *scenario.Scenario, res solv
 // schedule dispatches the epoch to the scheduler of its stamped quality
 // tier. The tier is decided at enqueue by the brownout controller; degraded
 // tiers exist only when brownout is enabled, which is also the only way a
-// non-full tier can be stamped.
-func (w *solveWorker) schedule(eb epochBatch, sc *scenario.Scenario) (solver.Result, error) {
+// non-full tier can be stamped. A full-tier epoch with a stamped plan runs
+// the heterogeneous portfolio and additionally returns the per-slot member
+// outcomes for the selector and telemetry; every other path returns nil
+// outcomes.
+func (w *solveWorker) schedule(eb epochBatch, sc *scenario.Scenario) (solver.Result, []solver.MemberOutcome, error) {
 	switch eb.tier {
 	case tierTruncated:
-		return w.ttsaTruncated.Schedule(sc, eb.solveRNG)
+		res, err := w.ttsaTruncated.Schedule(sc, eb.solveRNG)
+		return res, nil, err
 	case tierCheap:
-		return w.cheap.Schedule(sc, eb.solveRNG)
+		res, err := w.cheap.Schedule(sc, eb.solveRNG)
+		return res, nil, err
 	default:
-		return w.ttsa.Schedule(sc, eb.solveRNG)
+		if eb.plan != nil {
+			return w.pf.SolvePlan(sc, eb.solveRNG, nil, eb.plan)
+		}
+		res, err := w.ttsa.Schedule(sc, eb.solveRNG)
+		return res, nil, err
 	}
 }
 

@@ -18,8 +18,10 @@ import (
 	"github.com/tsajs/tsajs/internal/faults"
 	"github.com/tsajs/tsajs/internal/geom"
 	"github.com/tsajs/tsajs/internal/obs"
+	"github.com/tsajs/tsajs/internal/portfolio"
 	"github.com/tsajs/tsajs/internal/scenario"
 	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
 	"github.com/tsajs/tsajs/internal/units"
 )
 
@@ -97,6 +99,21 @@ type ServerConfig struct {
 	// cell epoch) — bit-identical decisions for any cluster size, worker
 	// count, or wire codec. See PartitionConfig and internal/shard.
 	Partition *PartitionConfig
+	// Portfolio, when non-nil, solves every full-quality epoch as a
+	// heterogeneous K-chain portfolio (internal/portfolio) instead of a
+	// single TTSA chain. With Adaptive set, each epoch's chain budget is
+	// reallocated across the member roster by the deterministic UCB
+	// selector, fed by the outcomes of epochs at least QueueDepth+Workers+1
+	// behind — the structural bound on stamped-but-unfinished epochs — so
+	// plans are a pure function of (Seed, epoch, earlier outcomes) and
+	// bit-identical for every worker count. Brownout-degraded epochs keep
+	// the degradation ladder's truncated/cheap solvers (the selector skips
+	// them rather than fighting the ladder). Chains run sequentially on the
+	// owning solver worker (Workers here already parallelizes across
+	// epochs). Incompatible with Delta (a repair anneal manages its own
+	// incumbent) and with SharedIncumbent (nondeterministic serving is not
+	// supported).
+	Portfolio *solver.PortfolioOptions
 	// Delta, when non-nil, enables delta-epoch incremental serving: the
 	// coordinator caches each user's gain rows and previous decision,
 	// refreshes only users that moved beyond Delta.MoveThresholdKm (or
@@ -189,6 +206,17 @@ func (c ServerConfig) Validate() error {
 			return fmt.Errorf("cran: delta-epoch serving cannot be combined with brownout degradation")
 		}
 	}
+	if cc.Portfolio != nil {
+		if err := cc.Portfolio.Validate(); err != nil {
+			return err
+		}
+		if cc.Portfolio.SharedIncumbent {
+			return fmt.Errorf("cran: the portfolio's shared-incumbent mode is nondeterministic and not supported on the serving path")
+		}
+		if cc.Delta != nil {
+			return fmt.Errorf("cran: portfolio serving cannot be combined with delta-epoch serving")
+		}
+	}
 	if cc.TTSA != nil {
 		return cc.TTSA.Validate()
 	}
@@ -261,6 +289,14 @@ type Server struct {
 	cheap         *baseline.Cheap
 	brownout      *brownoutController
 	wait          waitEstimator
+
+	// Portfolio serving state (nil when Portfolio is off): the shared
+	// heterogeneous portfolio full-tier epochs dispatch to, its per-member
+	// telemetry, and — in adaptive mode — one selector per cell on
+	// partitioned coordinators (one network-wide selector otherwise).
+	pf        *portfolio.Portfolio
+	pfMetrics *obs.PortfolioMetrics
+	selectors []*portfolio.Selector
 
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -344,6 +380,36 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	s.brownout = newBrownoutController(bo, cfg.QueueDepth)
 	s.solverObs = solverObs
+	if po := cfg.Portfolio; po != nil {
+		// Chains run sequentially on the owning solver worker: the server's
+		// Workers already parallelize across epochs, so parallel chains per
+		// epoch would only oversubscribe the CPU.
+		pfOpts := *po
+		pfOpts.Workers = 1
+		pf, err := portfolio.Wrap(ttsa, pfOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.pfMetrics = obs.NewPortfolioMetrics(reg)
+		s.pf = pf.WithObserver(solverObs).WithMemberObserver(s.pfMetrics)
+		if pfOpts.Adaptive {
+			// The pipeline-depth lag: at stamp time of epoch e at most
+			// QueueDepth epochs sit in the solve queue and Workers more are
+			// held by workers, so epochs e-lag and earlier have always been
+			// committed or skipped — Plan never blocks in steady state.
+			lag := cfg.QueueDepth + cfg.Workers + 1
+			if cfg.Partition != nil {
+				s.selectors = make([]*portfolio.Selector, len(s.sites))
+				for c := range s.selectors {
+					s.selectors[c] = portfolio.NewSelector(s.pf.Members(), pfOpts.Chains, lag)
+				}
+			} else {
+				s.selectors = []*portfolio.Selector{
+					portfolio.NewSelector(s.pf.Members(), pfOpts.Chains, lag),
+				}
+			}
+		}
+	}
 	if cfg.Delta != nil {
 		s.deltaCfg = *cfg.Delta
 		s.deltaCfg = s.deltaCfg.WithDefaults()
@@ -401,6 +467,11 @@ func (s *Server) Close() error {
 	// Wake any worker parked in a delta chain's acquire — the collector is
 	// about to close the solve queue and those epochs will never be solved.
 	s.closeDeltaChains()
+	// Unblock a collector parked in a selector's Plan wait; a nil plan
+	// falls back to the single-chain solver for the final epochs.
+	for _, sel := range s.selectors {
+		sel.Close()
+	}
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -643,7 +714,7 @@ func (s *Server) handleHealth(req OffloadRequest) OffloadResponse {
 		Health: &Health{
 			UptimeS:     time.Since(s.started).Seconds(),
 			ActiveConns: active,
-			Stats:       s.stats.snapshot(),
+			Stats:       s.Stats(),
 		},
 	}
 }
@@ -746,15 +817,79 @@ func (s *Server) enqueueEpoch(batch []pending) {
 		gainRNG:   s.rng.Derive(s.epoch ^ gainStreamLabel),
 		collected: time.Now(),
 	}
+	eb.plan = s.planEpoch(eb.cell, eb.epoch, eb.tier, eb.solveRNG)
 	select {
 	case s.solveQ <- eb:
 		s.stats.queueDepth.Set(float64(len(s.solveQ)))
 	default:
 		s.stats.epochRejected()
 		// A rejected epoch never reaches a worker: tell the delta chain so
-		// workers sequenced behind it do not wait forever.
+		// workers sequenced behind it do not wait forever, and record the
+		// skip with the selector so the learning prefix stays contiguous.
 		s.deltaSkip(eb.epoch, eb.cell)
+		s.skipPlan(eb)
 		s.failBatch(batch, CodeQueueFull, ErrQueueFull.Error())
+	}
+}
+
+// selectorFor returns the adaptive selector owning cell's epochs (the
+// network-wide selector on unpartitioned coordinators); nil when the
+// adaptive portfolio is off.
+func (s *Server) selectorFor(cell int) *portfolio.Selector {
+	if len(s.selectors) == 0 {
+		return nil
+	}
+	if cell < 0 {
+		return s.selectors[0]
+	}
+	return s.selectors[cell]
+}
+
+// planEpoch stamps an epoch's portfolio plan in the collector goroutine,
+// next to the tier and RNG stamps. Full-tier epochs get the selector's
+// allocation (or the fixed round-robin plan when the selector is off);
+// brownout-degraded epochs return nil — they keep the degradation ladder's
+// truncated/cheap solvers, and the selector records them as skipped so its
+// learning prefix stays contiguous without fighting the ladder. A nil plan
+// (portfolio off, degraded tier, or selector closed by shutdown) dispatches
+// the epoch exactly as before the portfolio existed.
+func (s *Server) planEpoch(cell int, epoch uint64, tier epochTier, solveRNG *simrand.Source) []int {
+	if s.pf == nil {
+		return nil
+	}
+	sel := s.selectorFor(cell)
+	if tier != tierFull {
+		if sel != nil {
+			sel.Skip(epoch)
+		}
+		return nil
+	}
+	if sel == nil {
+		return s.pf.FixedPlan()
+	}
+	return sel.Plan(epoch, solveRNG)
+}
+
+// skipPlan tells the epoch's selector that a planned epoch died without
+// outcomes (shed, expired, failed, or aborted by shutdown). No-op for
+// unplanned epochs and in fixed mode; duplicate skips are ignored by the
+// selector, so racing a recovered panic against shutdown is safe.
+func (s *Server) skipPlan(eb epochBatch) {
+	if eb.plan == nil {
+		return
+	}
+	if sel := s.selectorFor(eb.cell); sel != nil {
+		sel.Skip(eb.epoch)
+	}
+}
+
+// commitPlan delivers a planned epoch's member outcomes to its selector.
+func (s *Server) commitPlan(eb epochBatch, outcomes []solver.MemberOutcome) {
+	if eb.plan == nil || outcomes == nil {
+		return
+	}
+	if sel := s.selectorFor(eb.cell); sel != nil {
+		sel.Commit(eb.epoch, outcomes)
 	}
 }
 

@@ -102,6 +102,12 @@ type Stats struct {
 	DeltaRepairEpochs uint64 `json:"deltaRepairEpochs"`
 	DeltaDirtyUsers   uint64 `json:"deltaDirtyUsers"`
 	DeltaRowsReused   uint64 `json:"deltaRowsReused"`
+	// Portfolio member telemetry, keyed by member name (nil when the
+	// coordinator runs without a portfolio): chain slots run, epoch wins,
+	// and cumulative chain-slot wall milliseconds per member.
+	PortfolioMemberSlots map[string]uint64  `json:"portfolioMemberSlots,omitempty"`
+	PortfolioMemberWins  map[string]uint64  `json:"portfolioMemberWins,omitempty"`
+	PortfolioBudgetMs    map[string]float64 `json:"portfolioBudgetMs,omitempty"`
 }
 
 // statsCollector owns the coordinator's metrics, all registered in the
@@ -411,7 +417,30 @@ func (c *statsCollector) snapshot() Stats {
 }
 
 // Stats returns a snapshot of the coordinator's counters.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	s.fillPortfolioStats(&st)
+	return st
+}
+
+// fillPortfolioStats renders per-member portfolio telemetry into the
+// snapshot by re-reading the same registry handles the solve path writes
+// through (obs handles are deduplicated by name+labels, so fetching a
+// member's counter here returns the live instrument).
+func (s *Server) fillPortfolioStats(st *Stats) {
+	if s.pf == nil {
+		return
+	}
+	members := s.pf.Members()
+	st.PortfolioMemberSlots = make(map[string]uint64, len(members))
+	st.PortfolioMemberWins = make(map[string]uint64, len(members))
+	st.PortfolioBudgetMs = make(map[string]float64, len(members))
+	for _, m := range members {
+		st.PortfolioMemberSlots[m] = s.pfMetrics.Slots(m).Value()
+		st.PortfolioMemberWins[m] = s.pfMetrics.Wins(m).Value()
+		st.PortfolioBudgetMs[m] = s.pfMetrics.BudgetMs(m).Value()
+	}
+}
 
 // Metrics returns the coordinator's metrics registry — the live source the
 // Stats snapshot is rendered from, servable over HTTP with obs.Mux.

@@ -63,6 +63,17 @@ type Config struct {
 	// PortfolioWorkers bounds concurrently running portfolio chains
 	// (0 = GOMAXPROCS). Affects wall-clock time only, never the decisions.
 	PortfolioWorkers int
+	// PortfolioMembers names the heterogeneous member roster portfolio
+	// slots draw from (portfolio.MemberNames). Empty keeps K identical
+	// TTSA chains in fixed mode, or the portfolio package's default roster
+	// in adaptive mode. Requires Chains > 1.
+	PortfolioMembers []string
+	// PortfolioAdaptive turns on the online UCB selector: each epoch's
+	// chain budget is reallocated across the member roster from the
+	// utilities of earlier epochs. Deterministic per seed (the plan is a
+	// pure function of seed, epoch, and the preceding epochs' outcomes)
+	// but not bit-identical to fixed mode. Requires Chains > 1.
+	PortfolioAdaptive bool
 	// Seed drives the entire simulation (mobility, arrivals, channel,
 	// search).
 	Seed uint64
@@ -129,6 +140,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dynamic: portfolio chains must be non-negative, got %d", c.Chains)
 	case c.Chains > 1 && c.Scheduler != nil:
 		return errors.New("dynamic: portfolio chains require the built-in TTSA scheduler")
+	case c.PortfolioAdaptive && c.Chains <= 1:
+		return errors.New("dynamic: the adaptive portfolio requires Chains > 1")
+	case len(c.PortfolioMembers) > 0 && c.Chains <= 1:
+		return errors.New("dynamic: portfolio members require Chains > 1")
 	case c.FaultPlan != nil && c.Scheduler != nil:
 		return errors.New("dynamic: fault plans require the built-in TTSA scheduler (server masking)")
 	case c.FaultPlan != nil && c.FaultPlan.Servers() != c.Params.NumServers:
@@ -212,6 +227,10 @@ type Result struct {
 	DeltaFullEpochs   int `json:"deltaFullEpochs,omitempty"`
 	DeltaRepairEpochs int `json:"deltaRepairEpochs,omitempty"`
 	DeltaDirtyUsers   int `json:"deltaDirtyUsers,omitempty"`
+	// MemberTotals aggregates the adaptive portfolio's per-member chain
+	// slots, reduction wins, evaluations, and wall-clock budget across the
+	// run. Nil without PortfolioAdaptive.
+	MemberTotals []solver.MemberTotal `json:"memberTotals,omitempty"`
 }
 
 // Run executes the online simulation.
@@ -253,14 +272,17 @@ func Run(cfg Config) (*Result, error) {
 		sched = ttsa
 		if cfg.Chains > 1 {
 			pf, err = portfolio.Wrap(ttsa, solver.PortfolioOptions{
-				Chains:  cfg.Chains,
-				Workers: cfg.PortfolioWorkers,
+				Chains:   cfg.Chains,
+				Workers:  cfg.PortfolioWorkers,
+				Members:  cfg.PortfolioMembers,
+				Adaptive: cfg.PortfolioAdaptive,
 			})
 			if err != nil {
 				return nil, err
 			}
 			if cfg.Metrics != nil {
-				pf = pf.WithObserver(obs.NewSolverMetrics(cfg.Metrics))
+				pf = pf.WithObserver(obs.NewSolverMetrics(cfg.Metrics)).
+					WithMemberObserver(obs.NewPortfolioMetrics(cfg.Metrics))
 			}
 			sched = pf
 		}
@@ -423,6 +445,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.summarize(cfg.Params.NumServers, false)
+	if pf != nil {
+		res.MemberTotals = pf.MemberTotals()
+	}
 	return res, nil
 }
 

@@ -124,4 +124,81 @@ func TestPortfolioFaultFreeReplaySane(t *testing.T) {
 	if res.TotalUtility <= 0 {
 		t.Errorf("portfolio replay total utility %g; expected positive", res.TotalUtility)
 	}
+	if res.MemberTotals != nil {
+		t.Error("fixed-mode replay reported member totals")
+	}
+}
+
+func TestAdaptivePortfolioValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.PortfolioAdaptive = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("adaptive mode without chains accepted")
+	}
+	cfg = testConfig()
+	cfg.Chains = 1
+	cfg.PortfolioMembers = []string{"ttsa", "cheap"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("member roster without chains accepted")
+	}
+	cfg = testConfig()
+	cfg.Chains = 2
+	cfg.PortfolioMembers = []string{"bogus"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown member name accepted")
+	}
+}
+
+// TestAdaptiveReplayDeterministic runs the adaptive-portfolio replay twice
+// at different worker caps: epoch metrics and the per-member totals must be
+// identical, because the selector learns only from the committed epoch
+// prefix and every stream is seed-derived.
+func TestAdaptiveReplayDeterministic(t *testing.T) {
+	runs := make([]*Result, 3)
+	for i, workers := range []int{0, 0, 1} {
+		cfg := testConfig()
+		cfg.Epochs = 8
+		cfg.ActiveProb = 0.9
+		cfg.Chains = 4
+		cfg.PortfolioWorkers = workers
+		cfg.PortfolioAdaptive = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = res
+	}
+	base := runs[0]
+	if base.MemberTotals == nil {
+		t.Fatal("adaptive replay reported no member totals")
+	}
+	var slots uint64
+	for _, mt := range base.MemberTotals {
+		slots += mt.Slots
+	}
+	// Every scheduled epoch ran Chains slots (epochs with zero active users
+	// skip the solve entirely and never reach the portfolio).
+	scheduled := 0
+	for _, e := range base.Epochs {
+		if e.Active > 0 {
+			scheduled++
+		}
+	}
+	if slots != uint64(4*scheduled) {
+		t.Errorf("member totals cover %d slots, want %d (4 chains x %d scheduled epochs)", slots, 4*scheduled, scheduled)
+	}
+	for i, other := range runs[1:] {
+		for e := range base.Epochs {
+			a, b := base.Epochs[e], other.Epochs[e]
+			if a.Utility != b.Utility || a.Offloaded != b.Offloaded || a.Evaluations != b.Evaluations {
+				t.Errorf("run %d epoch %d diverged: %+v vs %+v", i+1, e, a, b)
+			}
+		}
+		for m := range base.MemberTotals {
+			a, b := base.MemberTotals[m], other.MemberTotals[m]
+			if a.Member != b.Member || a.Slots != b.Slots || a.Wins != b.Wins || a.Evaluations != b.Evaluations {
+				t.Errorf("run %d member %s totals diverged: %+v vs %+v", i+1, a.Member, a, b)
+			}
+		}
+	}
 }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/tsajs/tsajs/internal/solver"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
@@ -135,6 +137,15 @@ and a newline.`, Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
 	}
 	reg.Gauge("tsajs_router_inflight_requests",
 		"Requests currently being forwarded.").Set(1)
+
+	// The adaptive-portfolio family (as recorded by PortfolioMetrics):
+	// per-member slot and reduction-win counters plus the cumulative
+	// wall-clock budget gauge.
+	pm := NewPortfolioMetrics(reg)
+	pm.ObserveMembers([]solver.MemberOutcome{
+		{Slot: 0, Member: "ttsa", Utility: 18.5, ElapsedMs: 12.5, Won: true},
+		{Slot: 1, Member: "cheap", Utility: 15.25, ElapsedMs: 0.5},
+	})
 	return reg
 }
 
@@ -178,6 +189,13 @@ func TestGoldenJSON(t *testing.T) {
 // comes from sorting, not registration history.
 func TestGoldenStableAcrossRegistrationOrder(t *testing.T) {
 	reg := NewRegistry()
+	pm := NewPortfolioMetrics(reg)
+	pm.BudgetMs("cheap").Add(0.5)
+	pm.Wins("cheap")
+	pm.Slots("cheap").Inc()
+	pm.BudgetMs("ttsa").Add(12.5)
+	pm.Wins("ttsa").Inc()
+	pm.Slots("ttsa").Inc()
 	reg.Gauge("tsajs_router_inflight_requests",
 		"Requests currently being forwarded.").Set(1)
 	routerLat := reg.Histogram("tsajs_router_latency_seconds",

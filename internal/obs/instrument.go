@@ -68,6 +68,59 @@ func (m *SolverMetrics) ObserveSolve(st solver.SolveStats) {
 	}
 }
 
+// PortfolioMetrics turns portfolio member outcomes into registry metrics,
+// labelled by member: chain slots run, reduction wins, and cumulative
+// wall-clock budget per member. It implements solver.MemberObserver and is
+// safe for concurrent use at once-per-solve granularity (one registry
+// lookup per slot per solve).
+type PortfolioMetrics struct {
+	reg    *Registry
+	labels []Label
+}
+
+var _ solver.MemberObserver = (*PortfolioMetrics)(nil)
+
+// NewPortfolioMetrics returns a member observer recording into r under the
+// tsajs_portfolio_* metric family, with the given constant labels added to
+// every series.
+func NewPortfolioMetrics(r *Registry, labels ...Label) *PortfolioMetrics {
+	return &PortfolioMetrics{reg: r, labels: labels}
+}
+
+// Slots returns member's chain-slot counter, registering it if absent.
+func (m *PortfolioMetrics) Slots(member string) *Counter {
+	ls := append(append([]Label(nil), m.labels...), Label{Key: "member", Value: member})
+	return m.reg.Counter("tsajs_portfolio_member_slots_total",
+		"Portfolio chain slots run, by member.", ls...)
+}
+
+// Wins returns member's reduction-win counter, registering it if absent.
+func (m *PortfolioMetrics) Wins(member string) *Counter {
+	ls := append(append([]Label(nil), m.labels...), Label{Key: "member", Value: member})
+	return m.reg.Counter("tsajs_portfolio_member_wins_total",
+		"Portfolio solves won (slot selected by the deterministic reduction), by member.", ls...)
+}
+
+// BudgetMs returns member's cumulative wall-clock budget gauge,
+// registering it if absent.
+func (m *PortfolioMetrics) BudgetMs(member string) *Gauge {
+	ls := append(append([]Label(nil), m.labels...), Label{Key: "member", Value: member})
+	return m.reg.Gauge("tsajs_portfolio_budget_ms",
+		"Cumulative wall-clock milliseconds of chain-slot compute, by member.", ls...)
+}
+
+// ObserveMembers implements solver.MemberObserver.
+func (m *PortfolioMetrics) ObserveMembers(outcomes []solver.MemberOutcome) {
+	for _, o := range outcomes {
+		m.Slots(o.Member).Inc()
+		wins := m.Wins(o.Member)
+		if o.Won {
+			wins.Inc()
+		}
+		m.BudgetMs(o.Member).Add(o.ElapsedMs)
+	}
+}
+
 // ClientMetrics are the device-side resilience counters of the cran client:
 // transport attempts and failures, retry and redial activity, circuit
 // breaker fast-fails, and graceful degradations to local execution. All

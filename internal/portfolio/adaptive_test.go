@@ -1,0 +1,175 @@
+package portfolio
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// recordingMemberObserver captures per-solve member outcomes in call order.
+type recordingMemberObserver struct {
+	mu     sync.Mutex
+	epochs [][]solver.MemberOutcome
+}
+
+func (r *recordingMemberObserver) ObserveMembers(outcomes []solver.MemberOutcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epochs = append(r.epochs, append([]solver.MemberOutcome(nil), outcomes...))
+}
+
+// TestHeterogeneousFixedDifferential extends the package's differential
+// contract to heterogeneous rosters: in fixed mode the member-per-slot plan
+// is static, so worker counts 1 and 8 must stay bit-identical even when the
+// slots run different solvers.
+func TestHeterogeneousFixedDifferential(t *testing.T) {
+	roster := []string{"ttsa", "cheap", "attract", "ttsa-fast"}
+	for _, seed := range []uint64{51, 52, 53} {
+		sc := testScenario(t, seed)
+		var prev solver.Result
+		for i, workers := range []int{1, 8} {
+			pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 5, Workers: workers, Members: roster})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pf.Schedule(sc, simrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := solver.Verify(sc, res); err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 {
+				if !res.Assignment.Equal(prev.Assignment) || res.Utility != prev.Utility || res.Evaluations != prev.Evaluations {
+					t.Errorf("seed %d: heterogeneous fixed portfolio not schedule-independent", seed)
+				}
+			}
+			prev = res
+		}
+	}
+}
+
+// adaptiveRun drives an adaptive portfolio through a sequence of solves and
+// returns the member schedule (member name per slot per epoch), the slot
+// utilities, and the merged results.
+func adaptiveRun(t *testing.T, workers int) ([][]string, [][]float64, []solver.Result) {
+	t.Helper()
+	rec := &recordingMemberObserver{}
+	pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 4, Workers: workers, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := pf.WithMemberObserver(rec)
+	var merged []solver.Result
+	for e := uint64(0); e < 8; e++ {
+		sc := testScenario(t, 60+e%3)
+		res, err := obs.Schedule(sc, simrand.New(100+e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, res)
+	}
+	schedule := make([][]string, len(rec.epochs))
+	utils := make([][]float64, len(rec.epochs))
+	for i, outcomes := range rec.epochs {
+		for _, o := range outcomes {
+			schedule[i] = append(schedule[i], o.Member)
+			utils[i] = append(utils[i], o.Utility)
+		}
+	}
+	return schedule, utils, merged
+}
+
+// TestAdaptiveDeterministic is the adaptive-mode acceptance contract: the
+// member schedule, the per-slot utilities, and the merged results are
+// identical across repeated runs and across worker counts, because the
+// selector plans from the committed epoch prefix and seed-derived streams
+// only — never from timing.
+func TestAdaptiveDeterministic(t *testing.T) {
+	sched1, utils1, res1 := adaptiveRun(t, 1)
+	sched2, utils2, res2 := adaptiveRun(t, 1)
+	sched8, utils8, res8 := adaptiveRun(t, 8)
+
+	compare := func(label string, schedB [][]string, utilsB [][]float64, resB []solver.Result) {
+		if len(sched1) != len(schedB) {
+			t.Fatalf("%s: epoch count %d vs %d", label, len(sched1), len(schedB))
+		}
+		for e := range sched1 {
+			for s := range sched1[e] {
+				if sched1[e][s] != schedB[e][s] {
+					t.Errorf("%s: epoch %d slot %d ran %s vs %s", label, e, s, sched1[e][s], schedB[e][s])
+				}
+				if utils1[e][s] != utilsB[e][s] {
+					t.Errorf("%s: epoch %d slot %d utility %.17g vs %.17g", label, e, s, utils1[e][s], utilsB[e][s])
+				}
+			}
+			if res1[e].Utility != resB[e].Utility || !res1[e].Assignment.Equal(resB[e].Assignment) {
+				t.Errorf("%s: epoch %d merged result differs", label, e)
+			}
+		}
+	}
+	compare("repeat run", sched2, utils2, res2)
+	compare("workers 1 vs 8", sched8, utils8, res8)
+}
+
+// TestAdaptiveMemberTotals: totals cover every epoch (chains x epochs
+// slots, one win per epoch) and only roster members appear.
+func TestAdaptiveMemberTotals(t *testing.T) {
+	pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 3, Workers: 2, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 6
+	for e := uint64(0); e < epochs; e++ {
+		sc := testScenario(t, 70+e)
+		if _, err := pf.Schedule(sc, simrand.New(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var slots, wins uint64
+	for _, mt := range pf.MemberTotals() {
+		slots += mt.Slots
+		wins += mt.Wins
+	}
+	if slots != 3*epochs {
+		t.Errorf("member totals cover %d slots, want %d", slots, 3*epochs)
+	}
+	if wins != epochs {
+		t.Errorf("member totals record %d wins, want one per epoch = %d", wins, epochs)
+	}
+}
+
+// TestFixedModeHasNoSelector: the reproducibility default carries no
+// selector state, and MemberTotals stays nil.
+func TestFixedModeHasNoSelector(t *testing.T) {
+	pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Adaptive() {
+		t.Error("fixed-mode portfolio reports adaptive")
+	}
+	if pf.MemberTotals() != nil {
+		t.Error("fixed-mode portfolio reports member totals")
+	}
+	if want := []int{0, 0, 0}; len(pf.FixedPlan()) != 3 || pf.FixedPlan()[0] != want[0] {
+		t.Errorf("default fixed plan %v, want all-zero", pf.FixedPlan())
+	}
+}
+
+// TestAdaptiveValidation: adaptive and member options flow through New's
+// validation (unknown members rejected; defaults resolve).
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := New(testConfig(), solver.PortfolioOptions{Chains: 2, Members: []string{"bogus"}}); err == nil {
+		t.Error("unknown member accepted")
+	}
+	pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 2, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(pf.Members()), len(DefaultAdaptiveMembers()); got != want {
+		t.Errorf("adaptive default roster has %d members, want %d", got, want)
+	}
+}

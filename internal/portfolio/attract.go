@@ -1,0 +1,92 @@
+package portfolio
+
+import (
+	"time"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/scenario"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// attractDefaultBudget is the evaluation budget of the attract member when
+// the base TTSA config leaves MaxEvaluations unset: roughly the evaluation
+// count of one default anneal chain, so the member competes under a
+// comparable budget.
+const attractDefaultBudget = 4000
+
+// attractInitOffloadProb mirrors the anneal's random cold start.
+const attractInitOffloadProb = 0.5
+
+// attractSolve runs the population-interaction member: a single-point
+// search that repeatedly perturbs the incumbent (best-so-far) decision and
+// keeps improvements, with the perturbation size decaying linearly from
+// half the user population to a single user as the budget drains — the
+// hybrid-TSA "best-position attraction with decaying step" scheme adapted
+// to the discrete offloading decision space. Early candidates explore far
+// from the incumbent; late candidates fine-tune it.
+//
+// The search is a pure function of (scenario, rng seed, initial): every
+// random draw comes from rng, masks on initial are respected (a masked
+// server never receives a placement), and initial is cloned, never mutated.
+func attractSolve(sc *scenario.Scenario, rng *simrand.Source, eval *objective.Evaluator, initial *assign.Assignment, budget int) (solver.Result, error) {
+	started := time.Now()
+	if eval == nil || eval.Scenario() != sc {
+		eval = objective.New(sc)
+	}
+	if budget <= 0 {
+		budget = attractDefaultBudget
+	}
+
+	var best *assign.Assignment
+	if initial != nil {
+		best = initial.Clone()
+	} else {
+		var err error
+		best, err = solver.RandomFeasible(sc, rng, attractInitOffloadProb)
+		if err != nil {
+			return solver.Result{}, err
+		}
+	}
+	bestU := eval.SystemUtility(best)
+	evals := 1
+
+	U, S, N := sc.U(), sc.S(), sc.N()
+	cand := best.Clone()
+	for evals < budget {
+		// Attraction: restart the candidate at the incumbent and re-place k
+		// users, where k decays with the spent budget (step 1 → 0).
+		cand.CopyFrom(best)
+		step := 1 - float64(evals)/float64(budget)
+		k := int(step * float64(U) / 2)
+		if k < 1 {
+			k = 1
+		}
+		for j := 0; j < k; j++ {
+			u := rng.Intn(U)
+			target := rng.Intn(S*N + 1)
+			if target == S*N {
+				cand.SetLocal(u)
+				continue
+			}
+			s, ch := target/N, target%N
+			if cand.IsMasked(s) {
+				cand.SetLocal(u)
+				continue
+			}
+			if occ := cand.Occupant(s, ch); occ != assign.Local && occ != u {
+				cand.SetLocal(occ)
+			}
+			if err := cand.Offload(u, s, ch); err != nil {
+				return solver.Result{}, err
+			}
+		}
+		if u := eval.SystemUtility(cand); u > bestU {
+			best.CopyFrom(cand)
+			bestU = u
+		}
+		evals++
+	}
+	return solver.Finish("attract", eval, best, evals, started), nil
+}

@@ -1,0 +1,150 @@
+package portfolio
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// FuzzPortfolioSelector drives the bandit selector over fuzzed
+// (seed, roster size, chains, lag, epoch count, utility table) tuples and
+// asserts the structural invariants behind the adaptive mode's
+// reproducibility contract:
+//
+//   - every plan has exactly `chains` slots and every slot indexes the
+//     roster,
+//   - the plan sequence is identical whether outcomes are committed
+//     eagerly (in epoch order, straight after the plan) or as late as the
+//     lag window allows (newest-first, forcing the pending buffer) — commit
+//     timing must never show through,
+//   - wall-clock telemetry (ElapsedMs) is perturbed between the two
+//     deliveries, proving the policy never reads it,
+//   - budget conservation: committed epochs contribute exactly
+//     chains-many slots and one win each to the member totals; skipped
+//     epochs contribute nothing,
+//   - the whole run replays bit-identically from the same inputs.
+func FuzzPortfolioSelector(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(4), uint8(1), uint8(20), []byte{200, 40, 120})
+	f.Add(uint64(7), uint8(2), uint8(1), uint8(3), uint8(40), []byte{9, 9, 9, 250})
+	f.Add(uint64(42), uint8(6), uint8(8), uint8(4), uint8(64), []byte{0, 255, 17, 91, 3})
+	f.Add(uint64(303), uint8(4), uint8(5), uint8(2), uint8(33), []byte{128})
+	f.Fuzz(func(t *testing.T, seed uint64, nMembers, chains, lag, epochs uint8, utilBytes []byte) {
+		m := int(nMembers)%5 + 2   // 2..6 members
+		width := int(chains)%8 + 1 // 1..8 chains
+		depth := int(lag)%4 + 1    // 1..4 pipeline lag
+		n := uint64(epochs) % 65   // 0..64 epochs
+		if len(utilBytes) == 0 {
+			utilBytes = []byte{77}
+		}
+		members := make([]string, m)
+		for i := range members {
+			members[i] = fmt.Sprintf("m%d", i)
+		}
+		util := func(e uint64, member int) float64 {
+			return float64(utilBytes[(int(e)*m+member)%len(utilBytes)]) / 255
+		}
+		skipped := func(e uint64) bool {
+			return utilBytes[(int(e)*7)%len(utilBytes)]%5 == 0
+		}
+		outcomes := func(e uint64, plan []int, elapsed float64) []solver.MemberOutcome {
+			out := make([]solver.MemberOutcome, len(plan))
+			best := 0
+			for i, mi := range plan {
+				if util(e, mi) > util(e, plan[best]) {
+					best = i
+				}
+				out[i] = solver.MemberOutcome{
+					Slot: i, Member: members[mi],
+					Utility: util(e, mi), Evaluations: 10, ElapsedMs: elapsed,
+				}
+			}
+			out[best].Won = true
+			return out
+		}
+
+		// run drives one selector over the full epoch sequence. With
+		// eager=true each epoch commits straight after planning; otherwise
+		// outcomes are held until the lag window forces them out, and are
+		// then delivered newest-first so the selector must buffer and
+		// reorder. elapsed differs per delivery mode on purpose.
+		run := func(eager bool, elapsed float64) ([][]int, []solver.MemberTotal, uint64) {
+			s := NewSelector(members, width, depth)
+			defer s.Close()
+			plans := make([][]int, n)
+			held := map[uint64][]solver.MemberOutcome{}
+			committed := uint64(0)
+			deliver := func(e uint64) {
+				if skipped(e) {
+					s.Skip(e)
+					return
+				}
+				s.Commit(e, outcomes(e, plans[e], elapsed))
+				committed++
+			}
+			for e := uint64(0); e < n; e++ {
+				if !eager && e >= uint64(depth) {
+					// Flush everything the horizon is about to demand,
+					// newest-first.
+					for d := e - uint64(depth); ; d-- {
+						if _, ok := held[d]; ok {
+							delete(held, d)
+							deliver(d)
+						}
+						if d == 0 {
+							break
+						}
+					}
+				}
+				plans[e] = s.Plan(e, simrand.New(seed).Derive(e))
+				if eager {
+					deliver(e)
+				} else {
+					held[e] = nil // value rebuilt at delivery; key marks it pending
+				}
+			}
+			for e := uint64(0); e < n; e++ {
+				if _, ok := held[e]; ok {
+					deliver(e)
+				}
+			}
+			return plans, s.Totals(), committed
+		}
+
+		eagerPlans, totals, committed := run(true, 1)
+		for e, plan := range eagerPlans {
+			if len(plan) != width {
+				t.Fatalf("epoch %d: plan width %d, want %d", e, len(plan), width)
+			}
+			for slot, mi := range plan {
+				if mi < 0 || mi >= m {
+					t.Fatalf("epoch %d slot %d: member index %d outside roster of %d", e, slot, mi, m)
+				}
+			}
+		}
+
+		var slots, wins uint64
+		for _, mt := range totals {
+			slots += mt.Slots
+			wins += mt.Wins
+		}
+		if slots != uint64(width)*committed {
+			t.Errorf("budget not conserved: totals cover %d slots, want %d (%d chains x %d committed epochs)",
+				slots, uint64(width)*committed, width, committed)
+		}
+		if wins != committed {
+			t.Errorf("wins = %d, want one per committed epoch = %d", wins, committed)
+		}
+
+		lazyPlans, _, _ := run(false, 101)
+		if !reflect.DeepEqual(eagerPlans, lazyPlans) {
+			t.Errorf("plans depend on commit timing:\neager: %v\nlazy:  %v", eagerPlans, lazyPlans)
+		}
+		againPlans, _, _ := run(true, 1)
+		if !reflect.DeepEqual(eagerPlans, againPlans) {
+			t.Errorf("plans not reproducible across identical runs:\nfirst:  %v\nsecond: %v", eagerPlans, againPlans)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package portfolio
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tsajs/tsajs/internal/baseline"
+	"github.com/tsajs/tsajs/internal/core"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// memberKind discriminates how a roster member runs its chain slot.
+type memberKind int
+
+const (
+	// kindTTSA runs the base TTSA chain, optionally with a per-member
+	// config override (cooling schedule / neighbourhood mix).
+	kindTTSA memberKind = iota
+	// kindAttract runs the population-interaction member: incumbent
+	// attraction with a decaying step (attract.go).
+	kindAttract
+	// kindBaseline runs a zero-anneal baseline scheduler (hJTORA, Greedy,
+	// Cheap) — cheap members that can win a slot when the anneal budget is
+	// squeezed, e.g. under brownout.
+	kindBaseline
+)
+
+// member is one resolved roster entry: a name plus the machinery its slot
+// dispatches to. Members are immutable after resolution and safe to share
+// across concurrent solves.
+type member struct {
+	name string
+	kind memberKind
+	// cfg overrides the base TTSA config for kindTTSA variants; nil runs
+	// the base config verbatim (the "ttsa" member, bit-identical to the
+	// pre-roster portfolio).
+	cfg *core.Config
+	// sched is the baseline scheduler for kindBaseline members.
+	sched solver.Scheduler
+}
+
+// DefaultAdaptiveMembers is the roster adaptive mode resolves when no
+// explicit member list is configured: the base anneal, a fast-cooling and a
+// swap-heavy variant, the incumbent-attraction member, and two zero-anneal
+// baselines the selector can shift budget to when anneal slots stop paying.
+func DefaultAdaptiveMembers() []string {
+	return []string{"ttsa", "ttsa-fast", "ttsa-wide", "attract", "cheap", "greedy"}
+}
+
+// MemberNames returns the known roster vocabulary, for CLI help text.
+func MemberNames() []string {
+	return []string{"ttsa", "ttsa-fast", "ttsa-wide", "attract", "hjtora", "greedy", "cheap"}
+}
+
+// ParseMembers splits a comma-separated roster spec ("ttsa,attract,cheap")
+// and validates every name against the vocabulary. An empty spec returns
+// nil (meaning: use the mode's default roster).
+func ParseMembers(spec string) ([]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	names := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if _, err := resolveMember(name, core.Config{}); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// resolveMember maps a roster name to its member machinery. baseCfg is the
+// portfolio's TTSA configuration; variant members copy it and change only
+// their distinguishing knobs, so budget caps (MaxEvaluations) and threshold
+// settings carry over and every anneal member competes under the same
+// budget.
+func resolveMember(name string, baseCfg core.Config) (member, error) {
+	switch name {
+	case "ttsa":
+		// nil cfg: run the base solver verbatim so a single-member "ttsa"
+		// roster is bit-identical to the historical portfolio.
+		return member{name: name, kind: kindTTSA}, nil
+	case "ttsa-fast":
+		cfg := baseCfg
+		cfg.CoolNormal = 0.90
+		cfg.CoolFast = 0.80
+		return member{name: name, kind: kindTTSA, cfg: &cfg}, nil
+	case "ttsa-wide":
+		cfg := baseCfg
+		cfg.Moves = core.MoveWeights{MoveServer: 0.35, MoveChannel: 0.15, Swap: 0.35, Toggle: 0.15}
+		return member{name: name, kind: kindTTSA, cfg: &cfg}, nil
+	case "attract":
+		return member{name: name, kind: kindAttract}, nil
+	case "hjtora":
+		return member{name: name, kind: kindBaseline, sched: &baseline.HJTORA{}}, nil
+	case "greedy":
+		return member{name: name, kind: kindBaseline, sched: &baseline.Greedy{}}, nil
+	case "cheap":
+		return member{name: name, kind: kindBaseline, sched: &baseline.Cheap{}}, nil
+	default:
+		return member{}, fmt.Errorf("portfolio: unknown member %q (known: %s)", name, strings.Join(MemberNames(), ", "))
+	}
+}
+
+// resolveMembers resolves a full roster in order. Empty names resolves the
+// implicit single-member roster ["ttsa"], which reproduces the historical
+// K-identical-chain portfolio exactly.
+func resolveMembers(names []string, baseCfg core.Config) ([]member, error) {
+	if len(names) == 0 {
+		names = []string{"ttsa"}
+	}
+	out := make([]member, len(names))
+	for i, n := range names {
+		m, err := resolveMember(n, baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tsajs/tsajs/internal/assign"
+	"github.com/tsajs/tsajs/internal/objective"
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+func TestParseMembers(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+		bad  bool
+	}{
+		{spec: "", want: nil},
+		{spec: "ttsa", want: []string{"ttsa"}},
+		{spec: " ttsa , cheap ,attract", want: []string{"ttsa", "cheap", "attract"}},
+		{spec: "ttsa,nope", bad: true},
+		{spec: "TTSA", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParseMembers(c.spec)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseMembers(%q) accepted an unknown member", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMembers(%q): %v", c.spec, err)
+		} else if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseMembers(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestMemberVocabularyResolves: every advertised name resolves, and the
+// adaptive default roster is a subset of the vocabulary.
+func TestMemberVocabularyResolves(t *testing.T) {
+	known := map[string]bool{}
+	for _, n := range MemberNames() {
+		if _, err := resolveMember(n, testConfig()); err != nil {
+			t.Errorf("advertised member %q does not resolve: %v", n, err)
+		}
+		known[n] = true
+	}
+	for _, n := range DefaultAdaptiveMembers() {
+		if !known[n] {
+			t.Errorf("default adaptive member %q missing from MemberNames", n)
+		}
+	}
+}
+
+// TestEveryMemberSolvesFeasibly runs each member alone as a 2-chain fixed
+// portfolio and verifies the merged result.
+func TestEveryMemberSolvesFeasibly(t *testing.T) {
+	sc := testScenario(t, 19)
+	for _, name := range MemberNames() {
+		pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 2, Members: []string{name}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := pf.Schedule(sc, simrand.New(6))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := solver.Verify(sc, res); err != nil {
+			t.Errorf("%s: infeasible result: %v", name, err)
+		}
+	}
+}
+
+// TestBaselineMemberRespectsMasks: a zero-anneal member's cold start knows
+// nothing about the warm start's masks; the slot must re-apply them before
+// the reduction can see the result.
+func TestBaselineMemberRespectsMasks(t *testing.T) {
+	sc := testScenario(t, 23)
+	initial, err := assign.New(sc.U(), sc.S(), sc.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := []int{0, 2}
+	for _, s := range masked {
+		if _, err := initial.MaskServer(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"hjtora", "greedy", "cheap", "attract"} {
+		pf, err := New(testConfig(), solver.PortfolioOptions{Chains: 2, Members: []string{name}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pf.SolveFrom(sc, simrand.New(31), initial)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for u := 0; u < sc.U(); u++ {
+			s, _ := res.Assignment.SlotOf(u)
+			for _, m := range masked {
+				if s == m {
+					t.Errorf("%s: user %d placed on masked server %d", name, u, m)
+				}
+			}
+		}
+	}
+}
+
+func TestAttractDeterministicAndImproving(t *testing.T) {
+	sc := testScenario(t, 41)
+	eval := objective.New(sc)
+	a, err := attractSolve(sc, simrand.New(8), eval, nil, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := attractSolve(sc, simrand.New(8), eval, nil, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Assignment.Equal(b.Assignment) || a.Utility != b.Utility {
+		t.Error("attractSolve is not deterministic per seed")
+	}
+	if err := solver.Verify(sc, a); err != nil {
+		t.Fatal(err)
+	}
+	// Improvement over its own random start: re-draw the start from the
+	// same stream and compare.
+	start, err := solver.RandomFeasible(sc, simrand.New(8), attractInitOffloadProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility < eval.SystemUtility(start) {
+		t.Errorf("attract finished at %g, below its starting utility %g", a.Utility, eval.SystemUtility(start))
+	}
+}
+
+// TestAttractWarmStartNeverWorse: seeded from a decision, the search keeps
+// improvements only, so it can never end below the warm start.
+func TestAttractWarmStartNeverWorse(t *testing.T) {
+	sc := testScenario(t, 43)
+	eval := objective.New(sc)
+	warm, err := solver.RandomFeasible(sc, simrand.New(5), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmU := eval.SystemUtility(warm)
+	res, err := attractSolve(sc, simrand.New(9), eval, warm, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility < warmU {
+		t.Errorf("attract regressed below its warm start: %g < %g", res.Utility, warmU)
+	}
+}

@@ -1,0 +1,235 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tsajs/tsajs/internal/simrand"
+	"github.com/tsajs/tsajs/internal/solver"
+)
+
+// epochRNG mimics the serving path's per-epoch stream derivation.
+func epochRNG(seed, e uint64) *simrand.Source { return simrand.New(seed).Derive(e) }
+
+// mkOutcomes builds one epoch's outcomes for a plan, giving member index m
+// the utility utils[m].
+func mkOutcomes(members []string, plan []int, utils []float64) []solver.MemberOutcome {
+	out := make([]solver.MemberOutcome, len(plan))
+	best := 0
+	for i, m := range plan {
+		if utils[m] > utils[plan[best]] {
+			best = i
+		}
+		out[i] = solver.MemberOutcome{Slot: i, Member: members[m], Utility: utils[m], Evaluations: 10, ElapsedMs: 1}
+	}
+	out[best].Won = true
+	return out
+}
+
+func TestSelectorPlanShape(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	s := NewSelector(members, 5, 1)
+	defer s.Close()
+	utils := []float64{0.2, 0.9, 0.5}
+	for e := uint64(0); e < 20; e++ {
+		plan := s.Plan(e, epochRNG(7, e))
+		if len(plan) != 5 {
+			t.Fatalf("epoch %d: plan width %d, want 5", e, len(plan))
+		}
+		for slot, m := range plan {
+			if m < 0 || m >= len(members) {
+				t.Fatalf("epoch %d slot %d: member %d outside roster", e, slot, m)
+			}
+		}
+		s.Commit(e, mkOutcomes(members, plan, utils))
+	}
+}
+
+// TestSelectorUntriedFirst pins the cold-start behaviour: with no committed
+// outcomes every member scores +Inf and ties break to the lower index, so
+// the first plan tries the roster in order (up to the epsilon slot).
+func TestSelectorUntriedFirst(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	s := NewSelector(members, 4, 1)
+	defer s.Close()
+	plan := s.Plan(0, epochRNG(1, 0))
+	for i := 0; i < len(plan)-1; i++ { // last slot may be the epsilon draw
+		if plan[i] != i {
+			t.Fatalf("cold-start plan %v: slot %d ran member %d, want %d", plan, i, plan[i], i)
+		}
+	}
+}
+
+// TestSelectorDeterministicAcrossCommitOrder is the pipeline-independence
+// contract: two selectors fed the same outcomes — one in epoch order, one
+// with commits arriving out of order within the lag window — must produce
+// identical plans for every epoch.
+func TestSelectorDeterministicAcrossCommitOrder(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	utils := []float64{0.3, 0.8, 0.6}
+	const lag = 3
+	const epochs = 30
+
+	run := func(shuffle bool) [][]int {
+		s := NewSelector(members, 4, lag)
+		defer s.Close()
+		plans := make([][]int, epochs)
+		backlog := map[uint64][]solver.MemberOutcome{}
+		for e := uint64(0); e < epochs; e++ {
+			plans[e] = s.Plan(e, epochRNG(42, e))
+			backlog[e] = mkOutcomes(members, plans[e], utils)
+			if !shuffle {
+				s.Commit(e, backlog[e])
+				delete(backlog, e)
+				continue
+			}
+			// Deliver the window's outcomes newest-first, so commits are
+			// always out of order and the selector must buffer.
+			if len(backlog) >= lag {
+				for d := e; ; d-- {
+					if o, ok := backlog[d]; ok {
+						s.Commit(d, o)
+						delete(backlog, d)
+					}
+					if d == 0 {
+						break
+					}
+				}
+			}
+		}
+		return plans
+	}
+
+	ordered := run(false)
+	shuffled := run(true)
+	if !reflect.DeepEqual(ordered, shuffled) {
+		t.Errorf("plans depend on commit delivery order:\nordered:  %v\nshuffled: %v", ordered, shuffled)
+	}
+}
+
+// TestSelectorConverges checks the bandit does its job: with one member
+// consistently best, the plan majority shifts to it.
+func TestSelectorConverges(t *testing.T) {
+	members := []string{"weak", "strong", "mid"}
+	utils := []float64{0.1, 1.0, 0.4}
+	s := NewSelector(members, 4, 1)
+	defer s.Close()
+	strongSlots := 0
+	total := 0
+	for e := uint64(0); e < 60; e++ {
+		plan := s.Plan(e, epochRNG(5, e))
+		if e >= 30 { // after the exploration burn-in
+			for _, m := range plan {
+				total++
+				if m == 1 {
+					strongSlots++
+				}
+			}
+		}
+		s.Commit(e, mkOutcomes(members, plan, utils))
+	}
+	if strongSlots*2 < total {
+		t.Errorf("best member got %d/%d slots after burn-in; selector is not converging", strongSlots, total)
+	}
+}
+
+// TestSelectorBlocksUntilHorizon verifies the lag contract: Plan(first+lag)
+// must wait for epoch first's outcome, and committing it releases the plan.
+func TestSelectorBlocksUntilHorizon(t *testing.T) {
+	members := []string{"a", "b"}
+	s := NewSelector(members, 2, 2)
+	defer s.Close()
+	p0 := s.Plan(0, epochRNG(9, 0))
+	p1 := s.Plan(1, epochRNG(9, 1))
+
+	got := make(chan []int, 1)
+	go func() { got <- s.Plan(2, epochRNG(9, 2)) }()
+	select {
+	case p := <-got:
+		t.Fatalf("Plan(2) returned %v before epoch 0 was committed", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Commit(0, mkOutcomes(members, p0, []float64{0.5, 0.6}))
+	select {
+	case p := <-got:
+		if len(p) != 2 {
+			t.Fatalf("Plan(2) = %v after commit, want width 2", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Plan(2) still blocked after epoch 0 was committed")
+	}
+	s.Commit(1, mkOutcomes(members, p1, []float64{0.5, 0.6}))
+}
+
+func TestSelectorCloseUnblocksPlan(t *testing.T) {
+	s := NewSelector([]string{"a"}, 1, 1)
+	s.Plan(0, epochRNG(3, 0))
+	got := make(chan []int, 1)
+	go func() { got <- s.Plan(1, epochRNG(3, 1)) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case p := <-got:
+		if p != nil {
+			t.Fatalf("Plan after Close = %v, want nil", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock Plan")
+	}
+	if s.Plan(2, epochRNG(3, 2)) != nil {
+		t.Error("Plan on a closed selector returned a plan")
+	}
+}
+
+// TestSelectorSkipAndDuplicates: skipped epochs advance the horizon without
+// touching the policy, and duplicate commits (the failure-path race) are
+// ignored.
+func TestSelectorSkipAndDuplicates(t *testing.T) {
+	members := []string{"a", "b"}
+	s := NewSelector(members, 2, 1)
+	defer s.Close()
+	p0 := s.Plan(0, epochRNG(11, 0))
+	out := mkOutcomes(members, p0, []float64{0.4, 0.7})
+	s.Commit(0, out)
+	s.Commit(0, out) // duplicate: must not double-count
+	s.Skip(0)        // late skip after commit: must not erase
+	s.Plan(1, epochRNG(11, 1))
+	s.Skip(1)
+	s.Skip(1) // duplicate skip
+	s.Plan(2, epochRNG(11, 2))
+	s.Skip(2)
+
+	var slots uint64
+	for _, mt := range s.Totals() {
+		slots += mt.Slots
+	}
+	if slots != uint64(len(p0)) {
+		t.Errorf("totals count %d slots, want exactly epoch 0's %d", slots, len(p0))
+	}
+}
+
+// TestSelectorTotalsConservation: every committed outcome lands in exactly
+// one member's totals, and wins sum to the number of committed epochs.
+func TestSelectorTotalsConservation(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	utils := []float64{0.2, 0.9, 0.5}
+	s := NewSelector(members, 3, 1)
+	defer s.Close()
+	const epochs = 25
+	for e := uint64(0); e < epochs; e++ {
+		plan := s.Plan(e, epochRNG(13, e))
+		s.Commit(e, mkOutcomes(members, plan, utils))
+	}
+	var slots, wins uint64
+	for _, mt := range s.Totals() {
+		slots += mt.Slots
+		wins += mt.Wins
+	}
+	if slots != 3*epochs {
+		t.Errorf("slot totals %d, want %d", slots, 3*epochs)
+	}
+	if wins != epochs {
+		t.Errorf("win totals %d, want one per epoch = %d", wins, epochs)
+	}
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -191,7 +192,7 @@ func TestClientStaleAssignmentSurfacesWrongShard(t *testing.T) {
 }
 
 func TestMergeHealthEmpty(t *testing.T) {
-	if got := mergeHealth(nil); got != (cran.Health{}) {
+	if got := mergeHealth(nil); !reflect.DeepEqual(got, cran.Health{}) {
 		t.Errorf("mergeHealth(nil) = %+v, want zero", got)
 	}
 }

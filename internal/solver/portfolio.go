@@ -26,6 +26,62 @@ type PortfolioOptions struct {
 	// chains to scheduler timing and sacrifices run-to-run determinism;
 	// it defaults off so the deterministic mode stays canonical.
 	SharedIncumbent bool `json:"sharedIncumbent,omitempty"`
+	// Members names the heterogeneous member roster chain slots draw from
+	// (the portfolio package defines the vocabulary: "ttsa", "ttsa-fast",
+	// "ttsa-wide", "attract", "hjtora", "greedy", "cheap"). Slot i runs
+	// member i mod len(Members) in fixed mode. Empty means K identical
+	// chains of the base scheduler — the historical portfolio, bit-identical
+	// to pre-roster builds — unless Adaptive is set, in which case the
+	// portfolio package's default roster applies.
+	Members []string `json:"members,omitempty"`
+	// Adaptive turns on the online bandit selector: each solve's chain
+	// slots are allocated across the member roster by a deterministic UCB
+	// policy fed by the normalized utilities of earlier solves, instead of
+	// the static round-robin of fixed mode. The allocation is a pure
+	// function of (seed, epoch, telemetry prefix), so adaptive runs are
+	// reproducible per seed and worker count — but they are NOT
+	// bit-identical to fixed-mode runs, which remain the reproducibility
+	// default.
+	Adaptive bool `json:"adaptive,omitempty"`
+}
+
+// MemberOutcome is one chain slot's result within a portfolio solve: which
+// member ran the slot, the utility its decision reached under the
+// reduction's fresh evaluator, the search effort spent, and whether the
+// slot won the reduction. Utility, Evaluations, and Won are deterministic
+// per seed; ElapsedMs is wall clock and feeds telemetry only — the
+// adaptive selector's policy deliberately never reads it.
+type MemberOutcome struct {
+	// Slot is the chain index within the solve's plan.
+	Slot int `json:"slot"`
+	// Member is the roster member name that ran the slot.
+	Member string `json:"member"`
+	// Utility is the slot's decision utility under the reduction evaluator.
+	Utility float64 `json:"utility"`
+	// Evaluations counts the slot's objective evaluations.
+	Evaluations int `json:"evaluations"`
+	// ElapsedMs is the slot's wall-clock solve time in milliseconds.
+	ElapsedMs float64 `json:"elapsedMs"`
+	// Won marks the slot the deterministic reduction selected.
+	Won bool `json:"won"`
+}
+
+// MemberObserver receives the per-member outcomes of each portfolio solve.
+// Observation is passive: implementations must not mutate the outcomes,
+// and attaching an observer never changes the merged result.
+type MemberObserver interface {
+	ObserveMembers(outcomes []MemberOutcome)
+}
+
+// MemberTotal aggregates one member's outcomes across a run: how many
+// chain slots it was allocated, how many solves it won, and the search
+// effort and wall time it consumed.
+type MemberTotal struct {
+	Member      string  `json:"member"`
+	Slots       uint64  `json:"slots"`
+	Wins        uint64  `json:"wins"`
+	Evaluations uint64  `json:"evaluations"`
+	BudgetMs    float64 `json:"budgetMs"`
 }
 
 // Validate checks the options domain.

@@ -78,8 +78,20 @@ type (
 	// worker count or goroutine scheduling.
 	Portfolio = portfolio.Portfolio
 	// PortfolioOptions configures a Portfolio (chain count, worker cap,
-	// optional non-deterministic shared-incumbent mode).
+	// heterogeneous member roster, adaptive bandit selection, optional
+	// non-deterministic shared-incumbent mode).
 	PortfolioOptions = solver.PortfolioOptions
+	// PortfolioMemberOutcome is one chain slot's outcome in a portfolio
+	// solve: the member that ran it, the utility it reached, and whether it
+	// won the reduction.
+	PortfolioMemberOutcome = solver.MemberOutcome
+	// PortfolioMemberTotal aggregates a member's lifetime slots, wins,
+	// evaluations, and wall-clock budget across an adaptive run.
+	PortfolioMemberTotal = solver.MemberTotal
+	// PortfolioMetrics records per-member portfolio telemetry (chain slots,
+	// epoch wins, cumulative budget milliseconds) into a registry; attach
+	// with Portfolio.WithMemberObserver.
+	PortfolioMetrics = obs.PortfolioMetrics
 	// MoveWeights is the Algorithm 2 neighbourhood move mix.
 	MoveWeights = core.MoveWeights
 	// LocalSearchConfig parametrizes the LocalSearch baseline.
@@ -230,6 +242,29 @@ func NewMultiStart(cfg Config, starts, parallelism int) (*MultiStart, error) {
 // determinism for faster convergence.
 func NewPortfolio(cfg Config, opts PortfolioOptions) (*Portfolio, error) {
 	return portfolio.New(cfg, opts)
+}
+
+// PortfolioMemberNames lists every solver the heterogeneous portfolio can
+// run as a chain member, for PortfolioOptions.Members: TTSA cooling and
+// neighbourhood variants ("ttsa", "ttsa-fast", "ttsa-wide"), the
+// incumbent-attraction population member ("attract"), and the zero-anneal
+// baselines ("hjtora", "greedy", "cheap").
+func PortfolioMemberNames() []string { return portfolio.MemberNames() }
+
+// DefaultPortfolioMembers is the roster adaptive mode uses when
+// PortfolioOptions.Members is empty: a diverse mix of anneal variants, the
+// attraction member, and cheap deterministic baselines.
+func DefaultPortfolioMembers() []string { return portfolio.DefaultAdaptiveMembers() }
+
+// ParsePortfolioMembers parses a comma-separated member roster ("ttsa,
+// attract,cheap"), validating every name against PortfolioMemberNames. An
+// empty spec returns nil (the homogeneous-TTSA default).
+func ParsePortfolioMembers(spec string) ([]string, error) { return portfolio.ParseMembers(spec) }
+
+// NewPortfolioMetrics registers the tsajs_portfolio_* member telemetry
+// family in r; attach to a portfolio with WithMemberObserver.
+func NewPortfolioMetrics(r *MetricsRegistry, labels ...MetricLabel) *PortfolioMetrics {
+	return obs.NewPortfolioMetrics(r, labels...)
 }
 
 // Baseline schedulers from the paper's evaluation.
